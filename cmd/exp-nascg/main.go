@@ -1,0 +1,40 @@
+// Command exp-nascg regenerates the paper's Fig. 7: execution-time and
+// communication-time gains of dynamic rank reordering on the NAS CG kernel
+// (communication skeleton), for classes B-D, 64-256 ranks and three
+// initial mappings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	classes := flag.String("classes", "B,C,D", "NPB classes")
+	nps := flag.String("np", "64,128,256", "rank counts")
+	mappings := flag.String("mappings", "random,rr,standard", "initial mappings")
+	niter := flag.Int("niter", 5, "outer iterations (0 = class default)")
+	seed := flag.Int64("seed", 42, "random-mapping seed")
+	flag.Parse()
+
+	cfg := exp.CGConfig{
+		Classes:  exp.ParseStrings(*classes),
+		Mappings: exp.ParseStrings(*mappings),
+		Niter:    *niter,
+		Seed:     *seed,
+	}
+	var err error
+	if cfg.NPs, err = exp.ParseInts(*nps); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
+		os.Exit(1)
+	}
+	rows, err := exp.CGReorder(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
+		os.Exit(1)
+	}
+	exp.PrintCG(os.Stdout, rows)
+}

@@ -1,0 +1,46 @@
+// Command exp-reorder-heatmap regenerates the paper's Fig. 6: the gain (in
+// percent, reordering overhead included) of dynamically reordering groups
+// of ranks that repeatedly allgather, across iteration counts and buffer
+// sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	nps := flag.String("np", "48,96,192", "world sizes")
+	ascii := flag.Bool("ascii", false, "render the heat map as ASCII art instead of TSV")
+	bufs := flag.String("bufs", "1,10,100,1000,10000,100000", "buffer sizes in MPI_INT")
+	// The paper sweeps up to 10000 iterations; the default stops at 1000
+	// to keep the run in minutes (pass -iters 1,10,100,1000,10000 for the
+	// full grid).
+	iters := flag.String("iters", "1,10,100,1000", "iteration counts")
+	flag.Parse()
+
+	var cfg exp.HeatmapConfig
+	var err error
+	if cfg.NPs, err = exp.ParseInts(*nps); err == nil {
+		if cfg.BufSizes, err = exp.ParseInts(*bufs); err == nil {
+			cfg.Iters, err = exp.ParseInts(*iters)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)
+		os.Exit(1)
+	}
+	cells, err := exp.ReorderHeatmap(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)
+		os.Exit(1)
+	}
+	if *ascii {
+		exp.RenderHeatmap(os.Stdout, cells)
+		return
+	}
+	exp.PrintHeatmap(os.Stdout, cells)
+}

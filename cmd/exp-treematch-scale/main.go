@@ -1,0 +1,30 @@
+// Command exp-treematch-scale regenerates the paper's Table 1: the time
+// TreeMatch needs to compute a reordering for very large communication
+// matrices (orders 8192 to 65536).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	orders := flag.String("orders", "8192,16384,32768,65536", "matrix orders")
+	flag.Parse()
+
+	cfg := exp.DefaultTMScale
+	var err error
+	if cfg.Orders, err = exp.ParseInts(*orders); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
+	rows, err := exp.TreeMatchScale(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
+	exp.PrintTMScale(os.Stdout, rows)
+}

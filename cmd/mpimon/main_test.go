@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"ring", "stencil", "groups", "bcast", "reduce"} {
+		if err := run(wl, 16, "", "rr", 2, 1024, "B", false, false, false, "", 1); err != nil {
+			t.Fatalf("workload %s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunCGWorkload(t *testing.T) {
+	if err := run("cg", 16, "", "packed", 1, 0, "S", false, false, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cg", 16, "", "packed", 1, 0, "Z", false, false, false, "", 1); err == nil {
+		t.Fatal("unknown CG class should fail")
+	}
+}
+
+func TestRunWithReorderAndAnalysis(t *testing.T) {
+	if err := run("groups", 24, "", "rr", 3, 65536, "B", true, true, true, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomTopologyAndTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "out.trace")
+	if err := run("ring", 8, "2x2x2", "random", 2, 512, "B", false, false, false, traceFile, 7); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(traceFile)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("nope", 4, "", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+	if err := run("ring", 4, "", "diagonal", 1, 1, "B", false, false, false, "", 1); err == nil {
+		t.Fatal("unknown placement should fail")
+	}
+	if err := run("ring", 4, "bogus", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+		t.Fatal("bad topology spec should fail")
+	}
+	if err := run("ring", 500, "2x2x2", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+		t.Fatal("too many ranks should fail")
+	}
+}

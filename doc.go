@@ -1,0 +1,35 @@
+// Package mpimon is a Go reproduction of "Improving MPI Application
+// Communication Time with an Introspection Monitoring Library" (Jeannot &
+// Sartori, Inria RR-9292 / IPDPS 2020).
+//
+// It provides, as one importable surface:
+//
+//   - an MPI-like message-passing runtime over a simulated cluster with
+//     virtual time, where communication cost depends on the placement of
+//     ranks on the hardware topology (NewWorld, Comm, collectives,
+//     one-sided windows);
+//   - the paper's introspection monitoring library: sessions attached to a
+//     communicator that can be started, suspended, continued, reset and
+//     freed, observing collectives after their decomposition into
+//     point-to-point messages (InitMonitoring, Session), plus a faithful
+//     C-style MPI_M_* flat API;
+//   - the TreeMatch topology-aware placement algorithm and the paper's
+//     dynamic rank-reordering optimization (MonitorAndReorder, Reorder);
+//   - the NAS CG kernel used in the paper's evaluation (RunCG).
+//
+// A minimal program (the paper's Listing 2):
+//
+//	world, _ := mpimon.NewWorld(mpimon.PlaFRIM(2), 48)
+//	world.Run(func(c *mpimon.Comm) error {
+//		env, _ := mpimon.InitMonitoring(c.Proc())
+//		defer env.Finalize()
+//		s, _ := env.Start(c)
+//		c.Barrier()
+//		s.Suspend()
+//		s.RootFlush(0, "barrier", mpimon.P2POnly|mpimon.CollOnly)
+//		return s.Free()
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package mpimon

@@ -1,0 +1,89 @@
+// Heat diffusion: a real iterative application (2D Jacobi solver with halo
+// exchange) run twice — once on a random initial mapping and once after
+// the paper's monitor-and-reorder step — showing the end-to-end flow on
+// actual numerics rather than a synthetic pattern. The physics is
+// unchanged by the reordering (same checksum); only the communication time
+// drops.
+//
+// Run with: go run ./examples/heat-diffusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mpimon"
+)
+
+func main() {
+	const np = 48
+	mach := mpimon.PlaFRIM(2)
+	place, err := mpimon.PlacementRandom(np, mach.Topo, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := mpimon.NewWorld(mach, np, mpimon.WithPlacement(place))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := mpimon.StencilConfig{NX: 96, NY: 8192, Iters: 25}
+
+	err = world.Run(func(c *mpimon.Comm) error {
+		env, err := mpimon.InitMonitoring(c.Proc())
+		if err != nil {
+			return err
+		}
+		defer env.Finalize()
+		p := c.Proc()
+
+		t0 := p.Clock()
+		res1, err := mpimon.RunStencil(c, cfg)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		before := p.Clock() - t0
+
+		// Monitor a single sweep, reorder, and solve again.
+		one := cfg
+		one.Iters = 1
+		opt, _, err := mpimon.MonitorAndReorder(env, c, nil, func(cc *mpimon.Comm) error {
+			_, err := mpimon.RunStencil(cc, one)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t0 = p.Clock()
+		res2, err := mpimon.RunStencil(opt, cfg)
+		if err != nil {
+			return err
+		}
+		if err := opt.Barrier(); err != nil {
+			return err
+		}
+		after := p.Clock() - t0
+
+		if c.Rank() == 0 {
+			fmt.Printf("grid %dx%d, %d sweeps on %d ranks (random mapping)\n", cfg.NX, cfg.NY, cfg.Iters, np)
+			fmt.Printf("before reordering: %v (checksum %.6f, residual %.3g)\n",
+				round(before), res1.Checksum, res1.Residual)
+			fmt.Printf("after  reordering: %v (checksum %.6f, residual %.3g)\n",
+				round(after), res2.Checksum, res2.Residual)
+			if res1.Checksum != res2.Checksum {
+				return fmt.Errorf("reordering changed the physics")
+			}
+			fmt.Printf("communication-driven speedup: %.2fx\n", float64(before)/float64(after))
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

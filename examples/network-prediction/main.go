@@ -1,0 +1,122 @@
+// Network prediction (the paper's Sec. 7, citing Tseng et al. Euro-Par
+// 2019): sample the introspection monitoring library at a fixed period —
+// suspend, read, reset, continue — feed the per-period byte counts to an
+// online predictor, and detect the under-utilized windows where background
+// traffic (e.g. checkpoint fetches) should be scheduled.
+//
+// The workload alternates communication-heavy and compute-only phases; the
+// predictor must flag the compute phases as idle.
+//
+// Run with: go run ./examples/network-prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mpimon"
+)
+
+const (
+	period    = 50 * time.Millisecond
+	phaseLen  = 10 // periods per phase
+	numPhases = 6
+	chunk     = 1 << 20
+)
+
+func main() {
+	world, err := mpimon.NewWorld(mpimon.PlaFRIM(2), 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = world.Run(func(c *mpimon.Comm) error {
+		env, err := mpimon.InitMonitoring(c.Proc())
+		if err != nil {
+			return err
+		}
+		defer env.Finalize()
+		s, err := env.Start(c)
+		if err != nil {
+			return err
+		}
+		p := c.Proc()
+
+		pred, err := mpimon.NewUtilizationPredictor(0.4, 8)
+		if err != nil {
+			return err
+		}
+
+		var flagged, busyMisses int
+		sampleAndPredict := func(phase int, busy bool) error {
+			// The paper's sampling loop: suspend, read, reset, continue.
+			if err := s.Suspend(); err != nil {
+				return err
+			}
+			_, bytes, err := s.Data(mpimon.AllComm)
+			if err != nil {
+				return err
+			}
+			var sent float64
+			for _, b := range bytes {
+				sent += float64(b)
+			}
+			if err := s.Reset(); err != nil {
+				return err
+			}
+			if err := s.Continue(); err != nil {
+				return err
+			}
+			if err := pred.Observe(p.Clock(), sent); err != nil {
+				return err
+			}
+			if c.Rank() == 0 && pred.Samples() >= 4 {
+				idle := pred.Underutilized(period, float64(chunk)/4)
+				if idle && !busy {
+					flagged++
+				}
+				if idle && busy {
+					busyMisses++
+				}
+			}
+			return nil
+		}
+
+		for phase := 0; phase < numPhases; phase++ {
+			busy := phase%2 == 0
+			for tick := 0; tick < phaseLen; tick++ {
+				if busy {
+					// Neighbour exchange each period.
+					partner := c.Rank() ^ 1
+					if _, err := c.SendrecvN(partner, 0, chunk, partner, 0); err != nil {
+						return err
+					}
+					// Pad the period with compute.
+					p.Compute(period - 5*time.Millisecond)
+				} else {
+					p.Compute(period) // compute-only: network idle
+				}
+				if err := sampleAndPredict(phase, busy); err != nil {
+					return err
+				}
+			}
+		}
+
+		if c.Rank() == 0 {
+			fmt.Printf("sampled %d periods of %v\n", numPhases*phaseLen, period)
+			fmt.Printf("idle windows flagged during compute phases: %d\n", flagged)
+			fmt.Printf("false idle flags during communication phases: %d\n", busyMisses)
+			if flagged == 0 {
+				return fmt.Errorf("predictor found no idle windows")
+			}
+		}
+		if err := s.Suspend(); err != nil {
+			return err
+		}
+		return s.Free()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

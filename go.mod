@@ -1,0 +1,3 @@
+module mpimon
+
+go 1.22

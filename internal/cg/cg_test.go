@@ -1,0 +1,269 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mpimon/internal/mpi"
+	"mpimon/internal/netsim"
+	"mpimon/internal/pml"
+	"mpimon/internal/topology"
+)
+
+func TestRandlcReference(t *testing.T) {
+	// The NPB stream: x0=314159265, a=5^13; the generator is x_{k+1} =
+	// a*x_k mod 2^46. Check against independently computed values using
+	// big integer arithmetic.
+	x := tranSeed
+	state := uint64(314159265)
+	const a = uint64(1220703125)
+	const mod = uint64(1) << 46
+	for i := 0; i < 1000; i++ {
+		got := randlc(&x, amult)
+		state = (state * a) % mod // uint64 multiplication overflows?
+		_ = state
+		_ = got
+	}
+	// Recompute with 128-bit-safe modular multiplication.
+	x = tranSeed
+	state = 314159265
+	for i := 0; i < 1000; i++ {
+		got := randlc(&x, amult)
+		state = mulmod46(state, a)
+		want := float64(state) / float64(mod)
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("randlc step %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// mulmod46 computes (a*b) mod 2^46 exactly.
+func mulmod46(a, b uint64) uint64 {
+	return (a * b) & ((1 << 46) - 1)
+}
+
+func TestIcnvrt(t *testing.T) {
+	if icnvrt(0.5, 2048) != 1024 {
+		t.Fatal("icnvrt(0.5, 2048) != 1024")
+	}
+	if icnvrt(0.0, 2048) != 0 {
+		t.Fatal("icnvrt(0, 2048) != 0")
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	for _, n := range []string{"S", "W", "A", "B", "C", "D"} {
+		c, err := ClassByName(n)
+		if err != nil || c.Name != n {
+			t.Fatalf("ClassByName(%s): %+v, %v", n, c, err)
+		}
+	}
+	if _, err := ClassByName("Z"); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+}
+
+func TestMakeaMatrixIsSymmetricGlobally(t *testing.T) {
+	// Generate the full class-S matrix on one "process" and check
+	// symmetry and diagonal dominance of the shifted part.
+	cls := ClassS
+	tran := tranSeed
+	_ = randlc(&tran, amult)
+	m := Makea(cls, 0, cls.NA, 0, cls.NA, &tran)
+	if m.NNZ() == 0 {
+		t.Fatal("empty matrix")
+	}
+	dense := make(map[[2]int]float64, m.NNZ())
+	for i := 0; i < m.NRows; i++ {
+		for k := m.RowStr[i]; k < m.RowStr[i+1]; k++ {
+			dense[[2]int{i, m.ColIdx[k]}] = m.Vals[k]
+		}
+	}
+	for key, v := range dense {
+		sym, ok := dense[[2]int{key[1], key[0]}]
+		if !ok || math.Abs(sym-v) > 1e-12*math.Max(1, math.Abs(v)) {
+			t.Fatalf("matrix not symmetric at %v: %v vs %v", key, v, sym)
+		}
+	}
+}
+
+func TestMakeaPartitionsConsistent(t *testing.T) {
+	// The same global matrix must emerge regardless of partitioning:
+	// compare the (0..na/2, 0..na/2) block generated alone with the same
+	// block of the full generation.
+	cls := Class{Name: "T", NA: 200, Nonzer: 4, Niter: 1, Shift: 10}
+	tran1 := tranSeed
+	_ = randlc(&tran1, amult)
+	full := Makea(cls, 0, cls.NA, 0, cls.NA, &tran1)
+
+	tran2 := tranSeed
+	_ = randlc(&tran2, amult)
+	half := Makea(cls, 0, 100, 0, 100, &tran2)
+
+	fullMap := map[[2]int]float64{}
+	for i := 0; i < 100; i++ {
+		for k := full.RowStr[i]; k < full.RowStr[i+1]; k++ {
+			if full.ColIdx[k] < 100 {
+				fullMap[[2]int{i, full.ColIdx[k]}] = full.Vals[k]
+			}
+		}
+	}
+	halfMap := map[[2]int]float64{}
+	for i := 0; i < half.NRows; i++ {
+		for k := half.RowStr[i]; k < half.RowStr[i+1]; k++ {
+			halfMap[[2]int{i, half.ColIdx[k]}] = half.Vals[k]
+		}
+	}
+	if len(fullMap) != len(halfMap) {
+		t.Fatalf("block nnz %d (from full) vs %d (direct)", len(fullMap), len(halfMap))
+	}
+	for key, v := range fullMap {
+		hv, ok := halfMap[key]
+		// Duplicate coordinates are merged in partition-dependent order,
+		// so values may differ by a rounding ulp (as in NPB itself).
+		if !ok || math.Abs(hv-v) > 1e-12*math.Max(1, math.Abs(v)) {
+			t.Fatalf("block element %v: %v vs %v", key, v, halfMap[key])
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// 2x2 identity-ish: [[2,1],[0,3]].
+	m := &Matrix{NRows: 2, NCols: 2, RowStr: []int{0, 2, 3}, ColIdx: []int{0, 1, 1}, Vals: []float64{2, 1, 3}}
+	w := make([]float64, 2)
+	m.MatVec(w, []float64{10, 100})
+	if w[0] != 120 || w[1] != 300 {
+		t.Fatalf("MatVec = %v", w)
+	}
+}
+
+func cgMachine(nodes int) *netsim.Machine {
+	return &netsim.Machine{
+		Topo: topology.MustNew(nodes, 8),
+		Links: []netsim.LinkParams{
+			{Latency: 1500 * time.Nanosecond, Bandwidth: 12.5e9},
+			{Latency: 400 * time.Nanosecond, Bandwidth: 10e9},
+			{Latency: 200 * time.Nanosecond, Bandwidth: 16e9},
+		},
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}
+
+// runCG runs class S on np ranks and returns rank 0's result.
+func runCG(t *testing.T, np int, cfg Config) Result {
+	t.Helper()
+	w, err := mpi.NewWorld(cgMachine((np+7)/8), np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	err = w.RunWithTimeout(2*time.Minute, func(c *mpi.Comm) error {
+		r, err := Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestClassSVerifiesOnEveryGridShape(t *testing.T) {
+	// The central numerical test: the distributed CG must reproduce the
+	// published NPB class-S zeta on 1, 2, 4, 8 and 16 ranks (square and
+	// rectangular process grids).
+	for _, np := range []int{1, 2, 4, 8, 16} {
+		res := runCG(t, np, Config{Class: ClassS, Mode: Real})
+		if !res.Verified {
+			t.Fatalf("np=%d: zeta = %.13f, want %.13f (not verified)",
+				np, res.Zeta, ClassS.ZetaVerify)
+		}
+	}
+}
+
+func TestZetaIndependentOfGridShape(t *testing.T) {
+	r1 := runCG(t, 1, Config{Class: ClassS, Mode: Real})
+	r8 := runCG(t, 8, Config{Class: ClassS, Mode: Real})
+	if math.Abs(r1.Zeta-r8.Zeta) > 1e-11 {
+		t.Fatalf("zeta differs between 1 and 8 ranks: %v vs %v", r1.Zeta, r8.Zeta)
+	}
+}
+
+func TestSkeletonMatchesRealCommunicationVolume(t *testing.T) {
+	// The skeleton must move exactly the same bytes between the same
+	// pairs as the real run (that is its whole point).
+	volume := func(mode Mode) [][]uint64 {
+		np := 8
+		w, err := mpi.NewWorld(cgMachine(1), np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Class: ClassS, Mode: mode, Niter: 2}
+		if err := w.RunWithTimeout(2*time.Minute, func(c *mpi.Comm) error {
+			_, err := Run(c, cfg)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]uint64, np)
+		for r := 0; r < np; r++ {
+			out[r] = make([]uint64, np)
+			w.Proc(r).Monitor().Bytes(pml.P2P, out[r])
+		}
+		return out
+	}
+	real := volume(Real)
+	skel := volume(Skeleton)
+	for i := range real {
+		for j := range real[i] {
+			if real[i][j] != skel[i][j] {
+				t.Fatalf("volume[%d][%d]: real %d vs skeleton %d", i, j, real[i][j], skel[i][j])
+			}
+		}
+	}
+}
+
+func TestRNormSmall(t *testing.T) {
+	res := runCG(t, 4, Config{Class: ClassS, Mode: Real})
+	if res.RNorm > 1e-8 {
+		t.Fatalf("residual norm %v too large; CG is not converging", res.RNorm)
+	}
+}
+
+func TestTimersPopulated(t *testing.T) {
+	res := runCG(t, 4, Config{Class: ClassS, Mode: Real, Niter: 2})
+	if res.TotalTime <= 0 || res.MPITime <= 0 {
+		t.Fatalf("timers empty: total %v, mpi %v", res.TotalTime, res.MPITime)
+	}
+	if res.MPITime > res.TotalTime {
+		t.Fatalf("MPI time %v exceeds total %v", res.MPITime, res.TotalTime)
+	}
+}
+
+func TestRunRejectsBadWorldSize(t *testing.T) {
+	w, err := mpi.NewWorld(cgMachine(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		_, err := Run(c, Config{Class: ClassS, Mode: Real})
+		if err == nil {
+			return fmt.Errorf("np=3 should be rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

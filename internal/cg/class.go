@@ -1,0 +1,50 @@
+package cg
+
+import "fmt"
+
+// Class is one NPB problem class.
+type Class struct {
+	Name   string
+	NA     int // matrix order
+	Nonzer int // nonzeros per generated sparse vector
+	Niter  int // outer (power method) iterations
+	Shift  float64
+	// ZetaVerify is the published verification value; zero means the
+	// class has no reference value.
+	ZetaVerify float64
+}
+
+// The NPB 3.3 CG classes.
+var (
+	ClassS = Class{Name: "S", NA: 1400, Nonzer: 7, Niter: 15, Shift: 10, ZetaVerify: 8.5971775078648}
+	ClassW = Class{Name: "W", NA: 7000, Nonzer: 8, Niter: 15, Shift: 12, ZetaVerify: 10.362595087124}
+	ClassA = Class{Name: "A", NA: 14000, Nonzer: 11, Niter: 15, Shift: 20, ZetaVerify: 17.130235054029}
+	ClassB = Class{Name: "B", NA: 75000, Nonzer: 13, Niter: 75, Shift: 60, ZetaVerify: 22.712745482631}
+	ClassC = Class{Name: "C", NA: 150000, Nonzer: 15, Niter: 75, Shift: 110, ZetaVerify: 28.973605592845}
+	ClassD = Class{Name: "D", NA: 1500000, Nonzer: 21, Niter: 100, Shift: 500, ZetaVerify: 52.514532105794}
+)
+
+// ClassByName resolves "S".."D".
+func ClassByName(name string) (Class, error) {
+	switch name {
+	case "S":
+		return ClassS, nil
+	case "W":
+		return ClassW, nil
+	case "A":
+		return ClassA, nil
+	case "B":
+		return ClassB, nil
+	case "C":
+		return ClassC, nil
+	case "D":
+		return ClassD, nil
+	}
+	return Class{}, fmt.Errorf("cg: unknown class %q", name)
+}
+
+// EstimatedNonzeros approximates the assembled matrix's nonzero count,
+// used by the skeleton mode's compute model (the NPB sizing formula).
+func (c Class) EstimatedNonzeros() int {
+	return c.NA * (c.Nonzer + 1) * (c.Nonzer + 1)
+}

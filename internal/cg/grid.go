@@ -1,0 +1,116 @@
+package cg
+
+import "fmt"
+
+// Grid is the NPB CG 2D process grid: np = nprows * npcols with npcols
+// equal to nprows or 2*nprows. Matrix rows are split into nprows blocks and
+// columns into npcols blocks; process (pr, pc) owns submatrix
+// (rowBlock pr, colBlock pc). Vectors are distributed by column block and
+// replicated across grid rows, exactly the NPB data layout. The splits are
+// aligned so that every column block lies inside one row block, which makes
+// the transpose exchange a single message per process.
+type Grid struct {
+	NP       int
+	NA       int
+	NPRows   int
+	NPCols   int
+	L2NPCols int
+}
+
+// NewGrid builds the process grid; np must be a power of two and at most
+// na (every process needs at least one row and one column).
+func NewGrid(np, na int) (*Grid, error) {
+	if np <= 0 || np&(np-1) != 0 {
+		return nil, fmt.Errorf("cg: number of processes %d is not a power of two", np)
+	}
+	l2 := 0
+	for 1<<(l2+1) <= np {
+		l2++
+	}
+	g := &Grid{
+		NP:       np,
+		NA:       na,
+		NPRows:   1 << (l2 / 2),
+		NPCols:   1 << (l2 - l2/2),
+		L2NPCols: l2 - l2/2,
+	}
+	if g.NPCols > na {
+		return nil, fmt.Errorf("cg: %d column blocks for a matrix of order %d", g.NPCols, na)
+	}
+	return g, nil
+}
+
+// ProcRow returns the grid row of a rank.
+func (g *Grid) ProcRow(me int) int { return me / g.NPCols }
+
+// ProcCol returns the grid column of a rank.
+func (g *Grid) ProcCol(me int) int { return me % g.NPCols }
+
+// Rank returns the rank at grid position (pr, pc).
+func (g *Grid) Rank(pr, pc int) int { return pr*g.NPCols + pc }
+
+// RowStart returns the first global row (0-based) of row block pr.
+func (g *Grid) RowStart(pr int) int { return pr * g.NA / g.NPRows }
+
+// RowEnd returns one past the last global row of row block pr.
+func (g *Grid) RowEnd(pr int) int { return (pr + 1) * g.NA / g.NPRows }
+
+// ColStart returns the first global column of column block pc.
+func (g *Grid) ColStart(pc int) int { return pc * g.NA / g.NPCols }
+
+// ColEnd returns one past the last global column of column block pc.
+func (g *Grid) ColEnd(pc int) int { return (pc + 1) * g.NA / g.NPCols }
+
+// RowOwner returns the grid row whose row block contains column block pc
+// (well-defined because the splits are aligned).
+func (g *Grid) RowOwner(pc int) int { return pc * g.NPRows / g.NPCols }
+
+// TransposeSender returns the rank that sends rank me its column-block
+// slice of the row-summed vector: the process in grid row RowOwner(pc(me))
+// sitting at grid column pr(me). On a square grid this is exactly the
+// transpose partner of the NPB code.
+func (g *Grid) TransposeSender(me int) int {
+	return g.Rank(g.RowOwner(g.ProcCol(me)), g.ProcRow(me))
+}
+
+// TransposeTargets returns the ranks to which rank me must send slices of
+// its row-summed vector, with the corresponding global column ranges. The
+// inverse of TransposeSender: targets t with ProcRow(t) == ProcCol(me) and
+// RowOwner(ProcCol(t)) == ProcRow(me).
+func (g *Grid) TransposeTargets(me int) []TransposeTarget {
+	pr, pc := g.ProcRow(me), g.ProcCol(me)
+	if pc >= g.NPRows {
+		// Senders sit at grid column = target's grid row < NPRows; on a
+		// rectangular grid the right half of each row never sends.
+		return nil
+	}
+	ratio := g.NPCols / g.NPRows
+	var out []TransposeTarget
+	for tpc := pr * ratio; tpc < (pr+1)*ratio; tpc++ {
+		t := g.Rank(pc, tpc)
+		out = append(out, TransposeTarget{
+			Rank:  t,
+			Start: g.ColStart(tpc),
+			End:   g.ColEnd(tpc),
+		})
+	}
+	return out
+}
+
+// TransposeTarget is one outgoing transpose slice.
+type TransposeTarget struct {
+	Rank       int
+	Start, End int // global column range of the slice
+}
+
+// RowPeers returns, for each of the L2NPCols reduction stages, the partner
+// rank of me within its grid row (hypercube exchange on the grid column
+// index).
+func (g *Grid) RowPeers(me int) []int {
+	pr, pc := g.ProcRow(me), g.ProcCol(me)
+	peers := make([]int, g.L2NPCols)
+	for k := 0; k < g.L2NPCols; k++ {
+		peers[k] = g.Rank(pr, pc^(1<<k))
+	}
+	return peers
+}

@@ -1,0 +1,147 @@
+package cg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridShapes(t *testing.T) {
+	cases := []struct{ np, nprows, npcols int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4},
+		{16, 4, 4}, {32, 4, 8}, {64, 8, 8}, {128, 8, 16}, {256, 16, 16},
+	}
+	for _, c := range cases {
+		g, err := NewGrid(c.np, 1400)
+		if err != nil {
+			t.Fatalf("NewGrid(%d): %v", c.np, err)
+		}
+		if g.NPRows != c.nprows || g.NPCols != c.npcols {
+			t.Fatalf("np=%d grid %dx%d, want %dx%d", c.np, g.NPRows, g.NPCols, c.nprows, c.npcols)
+		}
+		if g.NPRows*g.NPCols != c.np {
+			t.Fatalf("np=%d grid does not cover all ranks", c.np)
+		}
+		if 1<<g.L2NPCols != g.NPCols {
+			t.Fatalf("np=%d l2npcols=%d for npcols=%d", c.np, g.L2NPCols, g.NPCols)
+		}
+	}
+}
+
+func TestNewGridRejectsNonPowerOfTwo(t *testing.T) {
+	for _, np := range []int{0, 3, 6, 12, -4} {
+		if _, err := NewGrid(np, 100); err == nil {
+			t.Fatalf("NewGrid(%d) should fail", np)
+		}
+	}
+}
+
+func TestBlockPartitions(t *testing.T) {
+	g, _ := NewGrid(8, 1000) // 2x4
+	// Row blocks cover [0,1000) without gaps.
+	if g.RowStart(0) != 0 || g.RowEnd(g.NPRows-1) != 1000 {
+		t.Fatal("row blocks do not span the matrix")
+	}
+	for r := 1; r < g.NPRows; r++ {
+		if g.RowStart(r) != g.RowEnd(r-1) {
+			t.Fatalf("row block gap at %d", r)
+		}
+	}
+	for c := 1; c < g.NPCols; c++ {
+		if g.ColStart(c) != g.ColEnd(c-1) {
+			t.Fatalf("col block gap at %d", c)
+		}
+	}
+	// Every column block lies inside its owning row block.
+	for c := 0; c < g.NPCols; c++ {
+		r := g.RowOwner(c)
+		if g.ColStart(c) < g.RowStart(r) || g.ColEnd(c) > g.RowEnd(r) {
+			t.Fatalf("col block %d not inside row block %d", c, r)
+		}
+	}
+}
+
+func TestTransposeConsistency(t *testing.T) {
+	// For every grid shape: the sender/target relations must be mutually
+	// consistent and the received slices must be exactly each receiver's
+	// column block.
+	for _, np := range []int{1, 2, 4, 8, 16, 32, 64} {
+		g, err := NewGrid(np, 1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type slice struct{ start, end int }
+		incoming := make(map[int][]slice)
+		for me := 0; me < np; me++ {
+			for _, tg := range g.TransposeTargets(me) {
+				if tg.Rank < 0 || tg.Rank >= np {
+					t.Fatalf("np=%d rank %d targets out-of-range rank %d", np, me, tg.Rank)
+				}
+				if g.TransposeSender(tg.Rank) != me {
+					t.Fatalf("np=%d rank %d sends to %d, whose sender is %d",
+						np, me, tg.Rank, g.TransposeSender(tg.Rank))
+				}
+				// The slice must come out of the sender's row block.
+				pr := g.ProcRow(me)
+				if tg.Start < g.RowStart(pr) || tg.End > g.RowEnd(pr) {
+					t.Fatalf("np=%d rank %d sends slice outside its row block", np, me)
+				}
+				incoming[tg.Rank] = append(incoming[tg.Rank], slice{tg.Start, tg.End})
+			}
+		}
+		for me := 0; me < np; me++ {
+			got := incoming[me]
+			if len(got) != 1 {
+				t.Fatalf("np=%d rank %d receives %d transpose slices, want 1", np, me, len(got))
+			}
+			pc := g.ProcCol(me)
+			if got[0].start != g.ColStart(pc) || got[0].end != g.ColEnd(pc) {
+				t.Fatalf("np=%d rank %d receives [%d,%d), wants its column block [%d,%d)",
+					np, me, got[0].start, got[0].end, g.ColStart(pc), g.ColEnd(pc))
+			}
+		}
+	}
+}
+
+func TestRowPeersHypercube(t *testing.T) {
+	g, _ := NewGrid(16, 1400) // 4x4
+	for me := 0; me < 16; me++ {
+		peers := g.RowPeers(me)
+		if len(peers) != g.L2NPCols {
+			t.Fatalf("rank %d has %d peers, want %d", me, len(peers), g.L2NPCols)
+		}
+		for _, p := range peers {
+			if g.ProcRow(p) != g.ProcRow(me) {
+				t.Fatalf("rank %d peer %d in a different grid row", me, p)
+			}
+			if p == me {
+				t.Fatalf("rank %d is its own peer", me)
+			}
+		}
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	f := func(l2 uint, naSeed uint) bool {
+		np := 1 << (l2 % 7) // up to 64
+		na := 100 + int(naSeed%10000)
+		g, err := NewGrid(np, na)
+		if err != nil {
+			return false
+		}
+		for me := 0; me < np; me++ {
+			if g.Rank(g.ProcRow(me), g.ProcCol(me)) != me {
+				return false
+			}
+		}
+		// Column blocks are non-empty.
+		for c := 0; c < g.NPCols; c++ {
+			if g.ColEnd(c) <= g.ColStart(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

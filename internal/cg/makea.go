@@ -1,0 +1,163 @@
+package cg
+
+import (
+	"math"
+	"sort"
+)
+
+// Matrix is the local block of the CG matrix in CSR form: rows are the
+// caller's global row range, columns are local indices into the caller's
+// global column range.
+type Matrix struct {
+	NRows  int
+	NCols  int
+	RowStr []int // NRows+1 offsets into ColIdx/Vals
+	ColIdx []int // local (0-based within the column range) indices
+	Vals   []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *Matrix) NNZ() int { return len(m.Vals) }
+
+// MatVec computes w = M * p, with p indexed by local column and w by local
+// row.
+func (m *Matrix) MatVec(w, p []float64) {
+	for i := 0; i < m.NRows; i++ {
+		var s float64
+		for k := m.RowStr[i]; k < m.RowStr[i+1]; k++ {
+			s += m.Vals[k] * p[m.ColIdx[k]]
+		}
+		w[i] = s
+	}
+}
+
+// sprnvc generates a sparse vector of nz distinct random locations in
+// [1, n] with random values, advancing the NPB random stream exactly as the
+// reference implementation does (rejected locations still consume stream
+// values).
+func sprnvc(n, nz, nn1 int, tran *float64, v []float64, iv []int) (int, []float64, []int) {
+	nzv := 0
+	for nzv < nz {
+		vecelt := randlc(tran, amult)
+		vecloc := randlc(tran, amult)
+		i := icnvrt(vecloc, nn1) + 1
+		if i > n {
+			continue
+		}
+		dup := false
+		for k := 0; k < nzv; k++ {
+			if iv[k] == i {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		v[nzv] = vecelt
+		iv[nzv] = i
+		nzv++
+	}
+	return nzv, v, iv
+}
+
+// vecset sets the component at global index ival to val, appending it if
+// absent (the NPB vecset).
+func vecset(v []float64, iv []int, nzv, ival int, val float64) int {
+	set := false
+	for k := 0; k < nzv; k++ {
+		if iv[k] == ival {
+			v[k] = val
+			set = true
+		}
+	}
+	if !set {
+		v[nzv] = val
+		iv[nzv] = ival
+		nzv++
+	}
+	return nzv
+}
+
+// Makea generates the local block [rowStart,rowEnd) x [colStart,colEnd) of
+// the NPB CG matrix: a sum of n scaled sparse outer products plus
+// (rcond-shift) I, with condition number roughly 1/rcond. Every process
+// consumes the identical random stream (tran), so the global matrix is
+// well-defined regardless of the process grid. Ranges are 0-based
+// half-open; tran must hold the stream state right after the main
+// program's initial zeta draw.
+func Makea(class Class, rowStart, rowEnd, colStart, colEnd int, tran *float64) *Matrix {
+	n := class.NA
+	nonzer := class.Nonzer
+	const rcond = 0.1
+	shift := class.Shift
+	ratio := math.Pow(rcond, 1.0/float64(n))
+
+	nn1 := 1
+	for nn1 < n {
+		nn1 *= 2
+	}
+
+	type elt struct {
+		row, col int // local indices
+		val      float64
+	}
+	var elts []elt
+	vbuf := make([]float64, nonzer+1)
+	ivbuf := make([]int, nonzer+1)
+
+	size := 1.0
+	for iouter := 1; iouter <= n; iouter++ {
+		nzv, v, iv := sprnvc(n, nonzer, nn1, tran, vbuf, ivbuf)
+		nzv = vecset(v, iv, nzv, iouter, 0.5)
+		for k := 0; k < nzv; k++ {
+			jcol := iv[k] - 1
+			if jcol < colStart || jcol >= colEnd {
+				continue
+			}
+			scale := size * v[k]
+			for k1 := 0; k1 < nzv; k1++ {
+				irow := iv[k1] - 1
+				if irow < rowStart || irow >= rowEnd {
+					continue
+				}
+				elts = append(elts, elt{row: irow - rowStart, col: jcol - colStart, val: v[k1] * scale})
+			}
+		}
+		size *= ratio
+	}
+	for i := rowStart; i < rowEnd; i++ {
+		if i >= colStart && i < colEnd {
+			elts = append(elts, elt{row: i - rowStart, col: i - colStart, val: rcond - shift})
+		}
+	}
+
+	// Assemble CSR, merging duplicate coordinates by summation.
+	sort.Slice(elts, func(a, b int) bool {
+		if elts[a].row != elts[b].row {
+			return elts[a].row < elts[b].row
+		}
+		return elts[a].col < elts[b].col
+	})
+	m := &Matrix{
+		NRows:  rowEnd - rowStart,
+		NCols:  colEnd - colStart,
+		RowStr: make([]int, rowEnd-rowStart+1),
+	}
+	for i := 0; i < len(elts); {
+		j := i
+		s := 0.0
+		for j < len(elts) && elts[j].row == elts[i].row && elts[j].col == elts[i].col {
+			s += elts[j].val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, elts[i].col)
+		m.Vals = append(m.Vals, s)
+		m.RowStr[elts[i].row+1]++
+		i = j
+	}
+	for i := 0; i < m.NRows; i++ {
+		m.RowStr[i+1] += m.RowStr[i]
+	}
+	return m
+}

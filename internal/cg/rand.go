@@ -1,0 +1,54 @@
+// Package cg is a Go port of the NAS Parallel Benchmarks 3.3 CG kernel
+// (conjugate gradient with a random sparse symmetric positive-definite
+// matrix), the application of the paper's Fig. 7 rank-reordering
+// experiment. The port reproduces the NPB pseudo-random generator and
+// matrix generator exactly, so the power-method eigenvalue estimate zeta
+// matches the published verification values; and it reproduces the NPB
+// process-grid communication structure (row-wise reductions plus a
+// transpose exchange per matrix-vector product), which is what the
+// reordering optimizes.
+//
+// Two modes are provided: Real runs the full numerics and verifies zeta
+// (small classes; used in tests), Skeleton replays the exact communication
+// schedule and volumes of a class without touching matrix data (classes
+// B-D at 64-256 ranks, as in the paper).
+package cg
+
+// randlc is the NPB linear congruential generator: x_{k+1} = a*x_k mod
+// 2^46, returning x_{k+1} * 2^-46. It updates x in place. The arithmetic
+// follows the reference implementation exactly (split into 23-bit halves so
+// every intermediate stays exact in float64).
+func randlc(x *float64, a float64) float64 {
+	const (
+		r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
+		t23 = 1.0 / r23
+		r46 = r23 * r23
+		t46 = t23 * t23
+	)
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * *x
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// NPB CG generator constants.
+const (
+	amult    = 1220703125.0 // 5^13
+	tranSeed = 314159265.0
+)
+
+// icnvrt maps a (0,1) float to an integer in [0, ipwr2).
+func icnvrt(x float64, ipwr2 int) int {
+	return int(float64(ipwr2) * x)
+}

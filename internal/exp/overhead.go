@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"mpimon/internal/mpi"
+	"mpimon/internal/pml"
+	"mpimon/internal/stats"
+)
+
+// OverheadConfig parameterizes the Fig. 4 experiment: a reduce over
+// COMM_WORLD is timed (real wall-clock time — the one measurement in this
+// reproduction that is not virtual, because it measures the monitoring
+// implementation itself) with monitoring enabled and disabled.
+type OverheadConfig struct {
+	NPs   []int // paper: 48, 96, 192
+	Sizes []int // bytes; paper plots 1 B .. 10 KB
+	Reps  int   // paper: 180
+}
+
+// DefaultOverhead is the paper's setting.
+var DefaultOverhead = OverheadConfig{
+	NPs:   []int{48, 96, 192},
+	Sizes: []int{1, 4, 16, 64, 256, 1024, 4096, 10000},
+	Reps:  180,
+}
+
+// OverheadRow is one point of Fig. 4: the Welch 95% interval of the
+// wall-time difference (monitored minus unmonitored), in microseconds.
+type OverheadRow struct {
+	NP    int
+	Size  int
+	Welch stats.WelchResult // microseconds
+}
+
+// Overhead runs the experiment: for each world size and message size, Reps
+// timed reduce iterations with monitoring at level Distinct and Reps with
+// monitoring Disabled, compared with Welch's unpaired t-interval exactly as
+// the paper's error bars.
+func Overhead(cfg OverheadConfig) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, np := range cfg.NPs {
+		for _, size := range cfg.Sizes {
+			on, err := timedReduces(np, size, cfg.Reps, pml.Distinct)
+			if err != nil {
+				return nil, err
+			}
+			off, err := timedReduces(np, size, cfg.Reps, pml.Disabled)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, OverheadRow{NP: np, Size: size, Welch: stats.Welch(on, off)})
+		}
+	}
+	return rows, nil
+}
+
+// timedReduces measures the wall time of rep successive reduces on a world
+// of np ranks, returning rank 0's per-iteration samples in microseconds.
+func timedReduces(np, size, reps int, level pml.Level) ([]float64, error) {
+	w, err := PlaFRIMWorld(np, nil, mpi.WithMonitoringLevel(level))
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]float64, 0, reps)
+	err = w.Run(func(c *mpi.Comm) error {
+		send := make([]byte, size)
+		var recv []byte
+		if c.Rank() == 0 {
+			recv = make([]byte, size)
+		}
+		for i := 0; i < reps; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			if err := c.Reduce(send, recv, mpi.Byte, mpi.OpMax, 0); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				samples = append(samples, float64(time.Since(t0))/1e3)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// PrintOverhead writes the Fig. 4 rows: np, size, mean difference and 95%
+// interval in microseconds, and whether the difference is significant.
+func PrintOverhead(w io.Writer, rows []OverheadRow) {
+	Fprintf(w, "# np\tsize_b\tdiff_us\tci_lo\tci_hi\tsignificant\n")
+	for _, r := range rows {
+		Fprintf(w, "%d\t%d\t%+.3f\t%+.3f\t%+.3f\t%v\n",
+			r.NP, r.Size, r.Welch.Diff, r.Welch.Lo, r.Welch.Hi, r.Welch.Significant)
+	}
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"mpimon/internal/topology"
+	"mpimon/internal/treematch"
+	"mpimon/internal/workloads"
+)
+
+// TMScaleConfig parameterizes Table 1: TreeMatch mapping time for large
+// communication matrices.
+type TMScaleConfig struct {
+	Orders []int // paper: 8192, 16384, 32768, 65536
+	// ClusterSize shapes the synthetic sparse matrix (the paper does not
+	// describe its matrices; see DESIGN.md substitution table).
+	ClusterSize int
+	Seed        int64
+}
+
+// DefaultTMScale mirrors the paper's orders.
+var DefaultTMScale = TMScaleConfig{
+	Orders:      []int{8192, 16384, 32768, 65536},
+	ClusterSize: 32,
+	Seed:        7,
+}
+
+// TMRow is one row of Table 1.
+type TMRow struct {
+	Order   int
+	Seconds float64
+}
+
+// TreeMatchScale measures the wall time of TreeMatch on synthetic sparse
+// clustered matrices of growing order, mapped onto a machine with exactly
+// order cores (nodes of 32 cores), as when reordering that many MPI
+// processes.
+func TreeMatchScale(cfg TMScaleConfig) ([]TMRow, error) {
+	var rows []TMRow
+	for _, order := range cfg.Orders {
+		m := workloads.ClusteredSparse(order, cfg.ClusterSize, 1000, 1, cfg.Seed)
+		topo, err := topology.New(order/32, 2, 16)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := treematch.MapTree(m, topo.FullTree()); err != nil {
+			return nil, err
+		}
+		rows = append(rows, TMRow{Order: order, Seconds: time.Since(t0).Seconds()})
+	}
+	return rows, nil
+}
+
+// PrintTMScale writes Table 1.
+func PrintTMScale(w io.Writer, rows []TMRow) {
+	Fprintf(w, "# com_matrix_order\treordering_time_s\n")
+	for _, r := range rows {
+		Fprintf(w, "%d\t%.1f\n", r.Order, r.Seconds)
+	}
+}

@@ -1,0 +1,134 @@
+// Package hwcount reproduces the hardware-counter methodology of the
+// paper's Sec. 6.1: on the real testbed, a thread samples the InfiniBand
+// port_xmit_data counter every 10 ms and compares it with what the
+// introspection monitoring library reports. Here the NIC counters are
+// maintained by the network simulator (netsim) and the monitoring events by
+// the pml recorder hook; this package bins both event streams into
+// fixed-period samples and cumulative series, yielding the paper's Fig. 2
+// (time series) and Fig. 3 (cumulative) data.
+package hwcount
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mpimon/internal/netsim"
+)
+
+// Event is one observed transmission: a virtual timestamp and a byte count.
+type Event struct {
+	When  int64 // virtual ns
+	Bytes int64
+}
+
+// Sample is one fixed-period bin of a series: the bytes observed in the
+// period ending at T.
+type Sample struct {
+	T     time.Duration
+	Bytes int64
+}
+
+// Collector accumulates monitoring events; attach its Record method as the
+// pml recorder of the process under observation. Safe for concurrent use.
+type Collector struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Record implements pml.Recorder's signature.
+func (c *Collector) Record(dst int, bytes int, when int64) {
+	c.mu.Lock()
+	c.evs = append(c.evs, Event{When: when, Bytes: int64(bytes)})
+	c.mu.Unlock()
+}
+
+// Events returns the collected events sorted by time.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	out := append([]Event(nil), c.evs...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// FromXmit converts the network simulator's NIC transmit log for one node
+// into events.
+func FromXmit(log []netsim.XmitEvent, node int) []Event {
+	var out []Event
+	for _, e := range log {
+		if e.Node == node {
+			out = append(out, Event{When: e.When, Bytes: e.Bytes})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// Bin folds events into fixed-period samples covering [0, horizon): sample
+// i holds the bytes with timestamps in [i*period, (i+1)*period). This is
+// the 10 ms sampling loop of the paper, applied in virtual time.
+func Bin(evs []Event, period, horizon time.Duration) []Sample {
+	if period <= 0 {
+		panic("hwcount: period must be positive")
+	}
+	n := int((horizon + period - 1) / period)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Sample, n)
+	for i := range out {
+		out[i].T = time.Duration(i+1) * period
+	}
+	for _, e := range evs {
+		i := int(time.Duration(e.When) / period)
+		if i >= 0 && i < n {
+			out[i].Bytes += e.Bytes
+		}
+	}
+	return out
+}
+
+// Cumulative turns a binned series into its running sum (the paper's
+// Fig. 3 presentation).
+func Cumulative(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	var acc int64
+	for i, s := range samples {
+		acc += s.Bytes
+		out[i] = Sample{T: s.T, Bytes: acc}
+	}
+	return out
+}
+
+// Total sums the bytes of a series.
+func Total(samples []Sample) int64 {
+	var s int64
+	for _, x := range samples {
+		s += x.Bytes
+	}
+	return s
+}
+
+// MaxLag returns the largest absolute difference, across sample indexes, of
+// the cumulative byte counts of two series — a measure of how far apart in
+// time two observations of the same traffic are (the paper notes the
+// difference between NIC counters and introspection is barely visible).
+func MaxLag(a, b []Sample) int64 {
+	ca, cb := Cumulative(a), Cumulative(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	var m int64
+	for i := 0; i < n; i++ {
+		d := ca[i].Bytes - cb[i].Bytes
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package hwcount
+
+import (
+	"testing"
+	"time"
+
+	"mpimon/internal/netsim"
+)
+
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+func TestBin(t *testing.T) {
+	evs := []Event{
+		{When: ms(1), Bytes: 100},
+		{When: ms(12), Bytes: 200},
+		{When: ms(19), Bytes: 50},
+		{When: ms(95), Bytes: 7}, // beyond horizon: dropped
+	}
+	s := Bin(evs, 10*time.Millisecond, 40*time.Millisecond)
+	if len(s) != 4 {
+		t.Fatalf("got %d bins, want 4", len(s))
+	}
+	wantBytes := []int64{100, 250, 0, 0}
+	for i := range s {
+		if s[i].Bytes != wantBytes[i] {
+			t.Fatalf("bin %d = %d bytes, want %d", i, s[i].Bytes, wantBytes[i])
+		}
+		if s[i].T != time.Duration(i+1)*10*time.Millisecond {
+			t.Fatalf("bin %d at %v", i, s[i].T)
+		}
+	}
+}
+
+func TestBinEdgeCases(t *testing.T) {
+	if got := Bin(nil, time.Millisecond, 0); got != nil {
+		t.Fatalf("zero horizon should produce no bins, got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period should panic")
+		}
+	}()
+	Bin(nil, 0, time.Second)
+}
+
+func TestCumulativeAndTotal(t *testing.T) {
+	s := []Sample{{T: 1, Bytes: 5}, {T: 2, Bytes: 0}, {T: 3, Bytes: 10}}
+	c := Cumulative(s)
+	want := []int64{5, 5, 15}
+	for i := range c {
+		if c[i].Bytes != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, c[i].Bytes, want[i])
+		}
+	}
+	if Total(s) != 15 {
+		t.Fatalf("Total = %d, want 15", Total(s))
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Record(1, 100, ms(5))
+	c.Record(1, 50, ms(2))
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	if evs[0].When != ms(2) || evs[1].When != ms(5) {
+		t.Fatalf("events not sorted: %v", evs)
+	}
+}
+
+func TestFromXmit(t *testing.T) {
+	log := []netsim.XmitEvent{
+		{Node: 0, When: ms(3), Bytes: 10},
+		{Node: 1, When: ms(1), Bytes: 20},
+		{Node: 0, When: ms(1), Bytes: 30},
+	}
+	evs := FromXmit(log, 0)
+	if len(evs) != 2 {
+		t.Fatalf("%d events for node 0, want 2", len(evs))
+	}
+	if evs[0].Bytes != 30 || evs[1].Bytes != 10 {
+		t.Fatalf("wrong or unsorted events: %v", evs)
+	}
+}
+
+func TestMaxLag(t *testing.T) {
+	a := []Sample{{T: 1, Bytes: 100}, {T: 2, Bytes: 0}}
+	b := []Sample{{T: 1, Bytes: 0}, {T: 2, Bytes: 100}}
+	// Cumulative a: 100,100; b: 0,100 -> max |diff| = 100.
+	if got := MaxLag(a, b); got != 100 {
+		t.Fatalf("MaxLag = %d, want 100", got)
+	}
+	if got := MaxLag(a, a); got != 0 {
+		t.Fatalf("MaxLag(x,x) = %d, want 0", got)
+	}
+}

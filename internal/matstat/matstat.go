@@ -1,0 +1,188 @@
+// Package matstat analyzes the communication matrices the monitoring
+// library gathers: aggregate volumes, per-rank imbalance, locality of
+// traffic with respect to a placement, and the heaviest communicating
+// pairs. It backs the analysis output of cmd/mpimon and gives applications
+// a quick way to judge whether rank reordering is worth trying (a low
+// node-locality fraction with high volume is the paper's sweet spot).
+package matstat
+
+import (
+	"fmt"
+	"sort"
+
+	"mpimon/internal/topology"
+)
+
+// Summary aggregates one n-by-n bytes (or counts) matrix.
+type Summary struct {
+	N     int
+	Total uint64
+	// NonzeroPairs counts directed (i,j) entries with traffic.
+	NonzeroPairs int
+	// MaxRankOut/MinRankOut are the largest and smallest per-rank totals
+	// of sent bytes; their ratio measures sender imbalance.
+	MaxRankOut, MinRankOut uint64
+	// AvgDegree is the mean number of distinct peers per rank
+	// (symmetrized).
+	AvgDegree float64
+	// Diagonal is self-traffic (usually zero).
+	Diagonal uint64
+}
+
+// Summarize computes matrix aggregates. mat is row-major n-by-n.
+func Summarize(mat []uint64, n int) (Summary, error) {
+	if len(mat) != n*n {
+		return Summary{}, fmt.Errorf("matstat: %d entries is not %dx%d", len(mat), n, n)
+	}
+	s := Summary{N: n, MinRankOut: ^uint64(0)}
+	peers := make([]map[int]bool, n)
+	for i := range peers {
+		peers[i] = make(map[int]bool)
+	}
+	for i := 0; i < n; i++ {
+		var out uint64
+		for j := 0; j < n; j++ {
+			v := mat[i*n+j]
+			if v == 0 {
+				continue
+			}
+			s.Total += v
+			s.NonzeroPairs++
+			out += v
+			if i == j {
+				s.Diagonal += v
+				continue
+			}
+			peers[i][j] = true
+			peers[j][i] = true
+		}
+		if out > s.MaxRankOut {
+			s.MaxRankOut = out
+		}
+		if out < s.MinRankOut {
+			s.MinRankOut = out
+		}
+	}
+	if n > 0 {
+		deg := 0
+		for i := range peers {
+			deg += len(peers[i])
+		}
+		s.AvgDegree = float64(deg) / float64(n)
+	}
+	if s.MinRankOut == ^uint64(0) {
+		s.MinRankOut = 0
+	}
+	return s, nil
+}
+
+// Imbalance returns MaxRankOut/MinRankOut, or +Inf when some rank sent
+// nothing while another did.
+func (s Summary) Imbalance() float64 {
+	if s.MinRankOut == 0 {
+		if s.MaxRankOut == 0 {
+			return 1
+		}
+		return 0 // signalled via IsBalanced-style checks; avoid Inf
+	}
+	return float64(s.MaxRankOut) / float64(s.MinRankOut)
+}
+
+// Locality describes how much of the traffic stays inside topology levels
+// under a given placement.
+type Locality struct {
+	Total uint64
+	// ByLevel[l] is the bytes whose endpoints share an ancestor at depth
+	// exactly l (l = 0 crosses the top switch; deeper is more local).
+	ByLevel []uint64
+}
+
+// NodeFraction returns the fraction of traffic that stays within a node
+// (shared level >= 1); 1 means fully node-local.
+func (l Locality) NodeFraction() float64 {
+	if l.Total == 0 {
+		return 1
+	}
+	var local uint64
+	for lvl := 1; lvl < len(l.ByLevel); lvl++ {
+		local += l.ByLevel[lvl]
+	}
+	return float64(local) / float64(l.Total)
+}
+
+// ComputeLocality classifies every directed entry of the matrix by the
+// shared topology level of its endpoints under the placement
+// (rank -> core).
+func ComputeLocality(mat []uint64, n int, topo *topology.Topology, place []int) (Locality, error) {
+	if len(mat) != n*n {
+		return Locality{}, fmt.Errorf("matstat: %d entries is not %dx%d", len(mat), n, n)
+	}
+	if len(place) != n {
+		return Locality{}, fmt.Errorf("matstat: placement has %d entries for %d ranks", len(place), n)
+	}
+	loc := Locality{ByLevel: make([]uint64, topo.Depth()+1)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := mat[i*n+j]
+			if v == 0 {
+				continue
+			}
+			loc.Total += v
+			loc.ByLevel[topo.SharedLevel(place[i], place[j])] += v
+		}
+	}
+	return loc, nil
+}
+
+// Pair is one directed communicating pair.
+type Pair struct {
+	Src, Dst int
+	Bytes    uint64
+}
+
+// TopPairs returns the k heaviest directed pairs, descending (ties by
+// source then destination rank for determinism).
+func TopPairs(mat []uint64, n, k int) ([]Pair, error) {
+	if len(mat) != n*n {
+		return nil, fmt.Errorf("matstat: %d entries is not %dx%d", len(mat), n, n)
+	}
+	var pairs []Pair
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := mat[i*n+j]; v > 0 && i != j {
+				pairs = append(pairs, Pair{Src: i, Dst: j, Bytes: v})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Bytes != pairs[b].Bytes {
+			return pairs[a].Bytes > pairs[b].Bytes
+		}
+		if pairs[a].Src != pairs[b].Src {
+			return pairs[a].Src < pairs[b].Src
+		}
+		return pairs[a].Dst < pairs[b].Dst
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs, nil
+}
+
+// BisectionBytes returns the traffic crossing an even rank bisection
+// (ranks < n/2 versus the rest), a quick pattern fingerprint.
+func BisectionBytes(mat []uint64, n int) (uint64, error) {
+	if len(mat) != n*n {
+		return 0, fmt.Errorf("matstat: %d entries is not %dx%d", len(mat), n, n)
+	}
+	half := n / 2
+	var cross uint64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i < half) != (j < half) {
+				cross += mat[i*n+j]
+			}
+		}
+	}
+	return cross, nil
+}

@@ -1,0 +1,257 @@
+package monitoring
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mpimon/internal/mpi"
+)
+
+// Data returns the calling process's accumulated per-destination message
+// counts and byte counts over the selected classes, indexed by rank of the
+// session's communicator (MPI_M_get_data). The session must be Suspended.
+// Per the paper, the call is collective even though the result is local;
+// here it performs no communication, so mismatched calls cannot deadlock.
+func (s *Session) Data(flags Flags) (counts, bytes []uint64, err error) {
+	cls := flags.classes()
+	if len(cls) == 0 {
+		return nil, nil, ErrInvalidFlags
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case Freed:
+		return nil, nil, ErrInvalidMsid
+	case Active:
+		return nil, nil, ErrSessionNotSuspended
+	}
+	n := len(s.group)
+	counts = make([]uint64, n)
+	bytes = make([]uint64, n)
+	for _, cl := range cls {
+		for i := 0; i < n; i++ {
+			counts[i] += s.accCounts[cl][i]
+			bytes[i] += s.accBytes[cl][i]
+		}
+	}
+	return counts, bytes, nil
+}
+
+// AllgatherData gathers every member's rows into full n-by-n matrices
+// (row-major: entry [i*n+j] is what rank i sent to rank j), delivered to
+// every member (MPI_M_allgather_data). Collective over the session's
+// communicator; the gather traffic itself is excluded from monitoring.
+func (s *Session) AllgatherData(flags Flags) (matCounts, matBytes []uint64, err error) {
+	counts, bytes, err := s.Data(flags)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := s.comm
+	n := c.Size()
+	mon := c.Proc().Monitor()
+	mon.Suppress()
+	defer mon.Unsuppress()
+
+	row := mpi.EncodeUint64s(append(counts, bytes...))
+	all := make([]byte, len(row)*n)
+	if err := c.Allgather(row, all); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+	}
+	matCounts = make([]uint64, n*n)
+	matBytes = make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		vals := mpi.DecodeUint64s(all[i*len(row) : (i+1)*len(row)])
+		copy(matCounts[i*n:(i+1)*n], vals[:n])
+		copy(matBytes[i*n:(i+1)*n], vals[n:])
+	}
+	return matCounts, matBytes, nil
+}
+
+// RootgatherData is AllgatherData delivering the matrices to root only
+// (MPI_M_rootgather_data); other ranks receive nil matrices. Collective.
+func (s *Session) RootgatherData(root int, flags Flags) (matCounts, matBytes []uint64, err error) {
+	counts, bytes, err := s.Data(flags)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := s.comm
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, nil, ErrInvalidRoot
+	}
+	mon := c.Proc().Monitor()
+	mon.Suppress()
+	defer mon.Unsuppress()
+
+	row := mpi.EncodeUint64s(append(counts, bytes...))
+	var all []byte
+	if c.Rank() == root {
+		all = make([]byte, len(row)*n)
+	}
+	if err := c.Gather(row, all, root); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+	}
+	if c.Rank() != root {
+		return nil, nil, nil
+	}
+	matCounts = make([]uint64, n*n)
+	matBytes = make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		vals := mpi.DecodeUint64s(all[i*len(row) : (i+1)*len(row)])
+		copy(matCounts[i*n:(i+1)*n], vals[:n])
+		copy(matBytes[i*n:(i+1)*n], vals[n:])
+	}
+	return matCounts, matBytes, nil
+}
+
+// Flush writes the calling process's data to filename.[rank].prof, where
+// [rank] is the rank in the session's communicator (MPI_M_flush). The path
+// must exist. Collective in the sense that every member writes its file.
+func (s *Session) Flush(filename string, flags Flags) error {
+	counts, bytes, err := s.Data(flags)
+	if err != nil {
+		return err
+	}
+	rank := s.comm.Rank()
+	name := fmt.Sprintf("%s.%d.prof", filename, rank)
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInternalFail, err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# mpimon monitoring session %d rank %d size %d flags %s\n",
+		s.id, rank, len(s.group), flagNames(flags))
+	fmt.Fprintf(w, "# dst\tcount\tbytes\n")
+	for j := range counts {
+		fmt.Fprintf(w, "%d\t%d\t%d\n", j, counts[j], bytes[j])
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrInternalFail, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInternalFail, err)
+	}
+	return nil
+}
+
+// RootFlush gathers the full matrices at root and writes them to
+// filename_counts.[rank].prof and filename_sizes.[rank].prof, where [rank]
+// is root's rank in COMM_WORLD, as the paper specifies (MPI_M_rootflush).
+// Collective over the session's communicator.
+func (s *Session) RootFlush(root int, filename string, flags Flags) error {
+	matCounts, matBytes, err := s.RootgatherData(root, flags)
+	if err != nil {
+		return err
+	}
+	if s.comm.Rank() != root {
+		return nil
+	}
+	worldRank := s.comm.WorldRank(root)
+	n := len(s.group)
+	write := func(name string, m []uint64) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInternalFail, err)
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# mpimon monitoring session %d matrix %dx%d flags %s\n",
+			s.id, n, n, flagNames(flags))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j > 0 {
+					fmt.Fprintf(w, " ")
+				}
+				fmt.Fprintf(w, "%d", m[i*n+j])
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("%w: %v", ErrInternalFail, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInternalFail, err)
+		}
+		return nil
+	}
+	if err := write(fmt.Sprintf("%s_counts.%d.prof", filename, worldRank), matCounts); err != nil {
+		return err
+	}
+	return write(fmt.Sprintf("%s_sizes.%d.prof", filename, worldRank), matBytes)
+}
+
+func flagNames(f Flags) string {
+	switch f {
+	case AllComm:
+		return "all"
+	case P2POnly:
+		return "p2p"
+	case CollOnly:
+		return "coll"
+	case OscOnly:
+		return "osc"
+	}
+	out := ""
+	if f&P2POnly != 0 {
+		out += "p2p|"
+	}
+	if f&CollOnly != 0 {
+		out += "coll|"
+	}
+	if f&OscOnly != 0 {
+		out += "osc|"
+	}
+	if out == "" {
+		return "none"
+	}
+	return out[:len(out)-1]
+}
+
+// matrixJSON is the stable wire format of WriteJSON.
+type matrixJSON struct {
+	Session int      `json:"session"`
+	Size    int      `json:"size"`
+	Flags   string   `json:"flags"`
+	Counts  []uint64 `json:"counts"`
+	Bytes   []uint64 `json:"bytes"`
+}
+
+// WriteJSON gathers the full matrices at root 0 and writes them as one
+// JSON document ({"session", "size", "flags", "counts", "bytes"}, matrices
+// row-major) — a machine-readable alternative to RootFlush for external
+// tooling. Collective; non-root ranks write nothing.
+func (s *Session) WriteJSON(w io.Writer, flags Flags) error {
+	matCounts, matBytes, err := s.RootgatherData(0, flags)
+	if err != nil {
+		return err
+	}
+	if s.comm.Rank() != 0 {
+		return nil
+	}
+	doc := matrixJSON{
+		Session: int(s.id),
+		Size:    len(s.group),
+		Flags:   flagNames(flags),
+		Counts:  matCounts,
+		Bytes:   matBytes,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadMatrixJSON parses a document written by WriteJSON, returning the
+// counts and bytes matrices and their dimension.
+func ReadMatrixJSON(r io.Reader) (counts, bytes []uint64, n int, err error) {
+	var doc matrixJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(doc.Counts) != doc.Size*doc.Size || len(doc.Bytes) != doc.Size*doc.Size {
+		return nil, nil, 0, fmt.Errorf("monitoring: malformed matrix document (%d entries for size %d)", len(doc.Counts), doc.Size)
+	}
+	return doc.Counts, doc.Bytes, doc.Size, nil
+}

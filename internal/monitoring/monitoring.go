@@ -1,0 +1,400 @@
+// Package monitoring is the paper's contribution: a high-level
+// introspection monitoring library for MPI applications. It wraps the
+// low-level MPI_T performance variables of the pml monitoring component in
+// the notion of a monitoring *session* — an object attached to a
+// communicator that can be started, suspended, continued, reset and freed,
+// so that only chosen portions of the code are watched. Sessions are
+// independent: they may overlap or nest, and each can filter by
+// communication class (point-to-point, collective-internal, one-sided).
+//
+// Two API surfaces are provided: the idiomatic one in this package
+// (Env/Session methods) and a faithful C-style flat-function surface
+// (MPI_M_* names, integer error codes) in the root mpimon package.
+//
+// A session records every message whose sender and receiver both belong to
+// the session's communicator, even when the message travels on a different
+// communicator — e.g. a session on an odd/even split still sees exchanges
+// between ranks 0 and 2 made through COMM_WORLD.
+package monitoring
+
+import (
+	"fmt"
+	"sync"
+
+	"mpimon/internal/mpi"
+	"mpimon/internal/mpit"
+	"mpimon/internal/pml"
+)
+
+// Flags selects which communication classes a data access returns.
+type Flags int
+
+// Class-selection flags; combine with bitwise or. They mirror
+// MPI_M_P2P_ONLY, MPI_M_COLL_ONLY, MPI_M_OSC_ONLY and MPI_M_ALL_COMM.
+const (
+	P2POnly Flags = 1 << iota
+	CollOnly
+	OscOnly
+	AllComm = P2POnly | CollOnly | OscOnly
+)
+
+func (f Flags) classes() []pml.Class {
+	var cs []pml.Class
+	if f&P2POnly != 0 {
+		cs = append(cs, pml.P2P)
+	}
+	if f&CollOnly != 0 {
+		cs = append(cs, pml.Coll)
+	}
+	if f&OscOnly != 0 {
+		cs = append(cs, pml.Osc)
+	}
+	return cs
+}
+
+// Msid identifies a session in the C-style API; AllMsid addresses every
+// live session at once where permitted.
+type Msid int
+
+// AllMsid is the MPI_M_ALL_MSID constant.
+const AllMsid Msid = -1
+
+// MaxSessions bounds the number of simultaneously live sessions per
+// process; exceeding it yields ErrSessionOverflow.
+const MaxSessions = 256
+
+// ThreadMultiple is the thread-support level GetInfo reports (the runtime's
+// session operations are thread-safe, the MPI_THREAD_MULTIPLE contract).
+const ThreadMultiple = 3
+
+// State is a session's lifecycle state.
+type State int
+
+// Session states. A session is born Active, alternates with Suspended, and
+// ends Freed. Monitored data is readable only while Suspended.
+const (
+	Active State = iota
+	Suspended
+	Freed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Suspended:
+		return "suspended"
+	case Freed:
+		return "freed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Env is one process's monitoring environment, created by Init and
+// destroyed by Finalize (the paper's MPI_M_init / MPI_M_finalize, to be
+// called inside the MPI_Init/MPI_Finalize pair). All methods are safe for
+// concurrent use.
+type Env struct {
+	p *mpi.Proc
+	t *mpit.Interface
+
+	// One pvar handle per (class, counts/bytes); reading the monitoring
+	// state always goes through the MPI_T layer.
+	hCounts [pml.NumClasses]*mpit.Handle
+	hBytes  [pml.NumClasses]*mpit.Handle
+	tsess   *mpit.Session
+
+	mu        sync.Mutex
+	sessions  map[Msid]*Session
+	nextMsid  Msid
+	finalized bool
+}
+
+// Init sets up the monitoring environment of the calling process. As in
+// the paper it may be called again after Finalize, but environments must
+// not overlap (the C-style API enforces one live environment per process).
+func Init(p *mpi.Proc) (*Env, error) {
+	t := mpit.New(p.Monitor())
+	e := &Env{p: p, t: t, sessions: make(map[Msid]*Session)}
+	e.tsess = t.SessionCreate()
+	names := [pml.NumClasses][2]string{
+		pml.P2P:  {mpit.VarP2PCount, mpit.VarP2PBytes},
+		pml.Coll: {mpit.VarCollCount, mpit.VarCollBytes},
+		pml.Osc:  {mpit.VarOscCount, mpit.VarOscBytes},
+	}
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		hc, err := e.tsess.AllocHandle(names[cl][0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		}
+		hb, err := e.tsess.AllocHandle(names[cl][1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		}
+		e.hCounts[cl], e.hBytes[cl] = hc, hb
+	}
+	return e, nil
+}
+
+// Proc returns the process this environment monitors.
+func (e *Env) Proc() *mpi.Proc { return e.p }
+
+// Finalize tears the environment down. Every session must have been
+// suspended first (ErrSessionStillActive otherwise); suspended sessions are
+// freed.
+func (e *Env) Finalize() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finalized {
+		return ErrMissingInit
+	}
+	for _, s := range e.sessions {
+		if s.stateLocked() == Active {
+			return ErrSessionStillActive
+		}
+	}
+	for id, s := range e.sessions {
+		s.mu.Lock()
+		s.state = Freed
+		s.mu.Unlock()
+		delete(e.sessions, id)
+	}
+	e.tsess.Free()
+	e.finalized = true
+	return nil
+}
+
+func (e *Env) checkLive() error {
+	if e.finalized {
+		return ErrMissingInit
+	}
+	return nil
+}
+
+// readPvars snapshots the six monitoring pvars into world-indexed vectors.
+func (e *Env) readPvars() (counts, bytes [pml.NumClasses][]uint64, err error) {
+	n := e.p.World().Size()
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		counts[cl] = make([]uint64, n)
+		bytes[cl] = make([]uint64, n)
+		if err = e.hCounts[cl].Read(counts[cl]); err != nil {
+			return counts, bytes, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		}
+		if err = e.hBytes[cl].Read(bytes[cl]); err != nil {
+			return counts, bytes, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		}
+	}
+	return counts, bytes, nil
+}
+
+// Start creates a monitoring session attached to comm and puts it in the
+// Active state. Like every session function except GetInfo it must be
+// called by all processes of comm. The unique initial Start must be matched
+// by a final Suspend before the data can be read or the session freed.
+func (e *Env) Start(comm *mpi.Comm) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkLive(); err != nil {
+		return nil, err
+	}
+	if len(e.sessions) >= MaxSessions {
+		return nil, ErrSessionOverflow
+	}
+	counts, bytes, err := e.readPvars()
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	s := &Session{
+		env:   e,
+		id:    e.nextMsid,
+		comm:  comm,
+		group: comm.Group(),
+		state: Active,
+	}
+	e.nextMsid++
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		s.snapCounts[cl] = counts[cl]
+		s.snapBytes[cl] = bytes[cl]
+		s.accCounts[cl] = make([]uint64, n)
+		s.accBytes[cl] = make([]uint64, n)
+	}
+	e.sessions[s.id] = s
+	return s, nil
+}
+
+// Get returns the live session with the given identifier.
+func (e *Env) Get(id Msid) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkLive(); err != nil {
+		return nil, err
+	}
+	s, ok := e.sessions[id]
+	if !ok {
+		return nil, ErrInvalidMsid
+	}
+	return s, nil
+}
+
+// Sessions returns the live sessions, for AllMsid-style iteration; the
+// order follows ascending identifiers.
+func (e *Env) Sessions() []*Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Session, 0, len(e.sessions))
+	for id := Msid(0); id < e.nextMsid; id++ {
+		if s, ok := e.sessions[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (e *Env) drop(id Msid) {
+	e.mu.Lock()
+	delete(e.sessions, id)
+	e.mu.Unlock()
+}
+
+// Session is one monitoring session: the per-destination message and byte
+// counts accumulated while the session is Active, over the members of its
+// communicator. Data is indexed by communicator rank.
+type Session struct {
+	env   *Env
+	id    Msid
+	comm  *mpi.Comm
+	group []int // comm rank -> world rank
+
+	mu    sync.Mutex
+	state State
+	// Pvar snapshot (world-indexed) taken at the last Start/Continue.
+	snapCounts [pml.NumClasses][]uint64
+	snapBytes  [pml.NumClasses][]uint64
+	// Accumulated deltas (comm-indexed) of completed active spans.
+	accCounts [pml.NumClasses][]uint64
+	accBytes  [pml.NumClasses][]uint64
+}
+
+// ID returns the session identifier (msid).
+func (s *Session) ID() Msid { return s.id }
+
+// Comm returns the communicator the session is attached to.
+func (s *Session) Comm() *mpi.Comm { return s.comm }
+
+// State returns the lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *Session) stateLocked() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Suspend stops recording and makes the data available. Suspending a
+// session that is not Active yields ErrMultipleCall (or ErrInvalidMsid if
+// freed).
+func (s *Session) Suspend() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case Freed:
+		return ErrInvalidMsid
+	case Suspended:
+		return ErrMultipleCall
+	}
+	counts, bytes, err := s.env.readPvars()
+	if err != nil {
+		return err
+	}
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		for i, wr := range s.group {
+			s.accCounts[cl][i] += counts[cl][wr] - s.snapCounts[cl][wr]
+			s.accBytes[cl][i] += bytes[cl][wr] - s.snapBytes[cl][wr]
+		}
+	}
+	s.state = Suspended
+	return nil
+}
+
+// Continue puts a suspended session back in the Active state.
+func (s *Session) Continue() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case Freed:
+		return ErrInvalidMsid
+	case Active:
+		return ErrMultipleCall
+	}
+	counts, bytes, err := s.env.readPvars()
+	if err != nil {
+		return err
+	}
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		s.snapCounts[cl] = counts[cl]
+		s.snapBytes[cl] = bytes[cl]
+	}
+	s.state = Active
+	return nil
+}
+
+// Reset zeroes the data of a suspended session.
+func (s *Session) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case Freed:
+		return ErrInvalidMsid
+	case Active:
+		return ErrSessionNotSuspended
+	}
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		clear(s.accCounts[cl])
+		clear(s.accBytes[cl])
+	}
+	return nil
+}
+
+// Free releases a suspended session; its data is no longer available.
+func (s *Session) Free() error {
+	s.mu.Lock()
+	switch s.state {
+	case Freed:
+		s.mu.Unlock()
+		return ErrInvalidMsid
+	case Active:
+		s.mu.Unlock()
+		return ErrSessionNotSuspended
+	}
+	s.state = Freed
+	s.mu.Unlock()
+	s.env.drop(s.id)
+	return nil
+}
+
+// Info mirrors MPI_M_get_info: the provided thread-support level and the
+// size of the per-process data arrays (equal to the communicator size, and
+// to one dimension of the gathered square matrices).
+type Info struct {
+	Provided  int
+	ArraySize int
+}
+
+// GetInfo returns session metadata; unlike the other functions it may be
+// called by any subset of the communicator. It is valid in any non-freed
+// state.
+func (s *Session) GetInfo() (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == Freed {
+		return Info{}, ErrInvalidMsid
+	}
+	return Info{Provided: ThreadMultiple, ArraySize: len(s.group)}, nil
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"mpimon/internal/treematch"
+)
+
+// CartComm is a Cartesian process topology over a communicator
+// (MPI_Cart_create): ranks are arranged in a row-major grid of the given
+// dimensions, with optional periodic wraparound per dimension. The
+// embedded communicator's ranks follow grid order.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+}
+
+// ProcNull is returned by Shift for a neighbour outside a non-periodic
+// grid edge (MPI_PROC_NULL).
+const ProcNull = -1
+
+// DimsCreate factorizes nnodes into ndims balanced dimensions, largest
+// first (MPI_Dims_create with all dimensions free).
+func DimsCreate(nnodes, ndims int) ([]int, error) {
+	if nnodes <= 0 || ndims <= 0 {
+		return nil, fmt.Errorf("mpi: DimsCreate(%d, %d) needs positive arguments", nnodes, ndims)
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Repeatedly assign the largest remaining prime factor to the
+	// currently smallest dimension.
+	rest := nnodes
+	var factors []int
+	for f := 2; f*f <= rest; f++ {
+		for rest%f == 0 {
+			factors = append(factors, f)
+			rest /= f
+		}
+	}
+	if rest > 1 {
+		factors = append(factors, rest)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(factors)))
+	for _, f := range factors {
+		min := 0
+		for i := 1; i < ndims; i++ {
+			if dims[i] < dims[min] {
+				min = i
+			}
+		}
+		dims[min] *= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dims)))
+	return dims, nil
+}
+
+// CartCreate builds a Cartesian communicator. The product of dims must not
+// exceed the communicator size; surplus ranks receive nil (as with
+// MPI_COMM_NULL). With reorder true, ranks are renumbered so that grid
+// neighbours land close on the hardware topology — the MPI reorder flag
+// implemented with TreeMatch-style placement awareness: the synthetic
+// nearest-neighbour pattern of the grid is mapped onto the machine and the
+// communicator is split by the resulting roles. Collective over c.
+func (c *Comm) CartCreate(dims []int, periodic []bool, reorder bool) (*CartComm, error) {
+	if len(dims) == 0 || len(periodic) != len(dims) {
+		return nil, fmt.Errorf("mpi: cart needs matching dims and periodicity (%d vs %d)", len(dims), len(periodic))
+	}
+	size := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: cart dimension %d is %d", i, d)
+		}
+		size *= d
+	}
+	if size > c.Size() {
+		return nil, fmt.Errorf("mpi: cart grid of %d exceeds communicator size %d", size, c.Size())
+	}
+
+	// Every member must take the same branch; key choice differs.
+	key := c.rank
+	color := 0
+	if c.rank >= size {
+		color = -1
+	}
+	if reorder && color == 0 {
+		key = c.cartRole(dims, periodic, size)
+	}
+	sub, err := c.Split(color, key)
+	if err != nil || sub == nil {
+		return nil, err
+	}
+	return &CartComm{Comm: sub, dims: append([]int(nil), dims...), periodic: append([]bool(nil), periodic...)}, nil
+}
+
+// cartRole computes this rank's grid position under reordering: the grid's
+// nearest-neighbour pattern is placed on the machine topology with
+// TreeMatch, and the role assigned to this process's core is returned.
+// Deterministic and identical on every member (pure function of shared
+// state); falls back to the original rank if the placement fails.
+func (c *Comm) cartRole(dims []int, periodic []bool, size int) int {
+	m := treematch.NewMatrix(size)
+	coords := make([]int, len(dims))
+	for r := 0; r < size; r++ {
+		c.coordsOf(r, dims, coords)
+		for d := range dims {
+			orig := coords[d]
+			coords[d] = orig + 1
+			if coords[d] >= dims[d] {
+				if !periodic[d] {
+					coords[d] = orig
+					continue
+				}
+				coords[d] = 0
+			}
+			if nb := c.rankOf(coords, dims); nb != r {
+				m.Add(r, nb, 1)
+			}
+			coords[d] = orig
+		}
+	}
+	m.Finish()
+
+	// Cores of the members that will join the grid (ranks < size).
+	world := c.p.world
+	place := make([]int, size)
+	for r := 0; r < size; r++ {
+		place[r] = world.placement[c.group[r]]
+	}
+	tree, err := world.mach.Topo.Restrict(place)
+	if err != nil {
+		return c.rank
+	}
+	coreOf, err := treematch.MapTree(m, tree)
+	if err != nil {
+		return c.rank
+	}
+	roleAt := make(map[int]int, size)
+	for role, core := range coreOf {
+		roleAt[core] = role
+	}
+	if role, ok := roleAt[c.p.core]; ok {
+		return role
+	}
+	return c.rank
+}
+
+func (c *Comm) coordsOf(rank int, dims, out []int) {
+	for d := len(dims) - 1; d >= 0; d-- {
+		out[d] = rank % dims[d]
+		rank /= dims[d]
+	}
+}
+
+func (c *Comm) rankOf(coords, dims []int) int {
+	r := 0
+	for d := 0; d < len(dims); d++ {
+		r = r*dims[d] + coords[d]
+	}
+	return r
+}
+
+// Dims returns the grid dimensions.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the grid coordinates of a rank (MPI_Cart_coords).
+func (cc *CartComm) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= cc.Size() {
+		return nil, fmt.Errorf("mpi: cart rank %d out of range", rank)
+	}
+	out := make([]int, len(cc.dims))
+	cc.Comm.coordsOf(rank, cc.dims, out)
+	return out, nil
+}
+
+// CartRank returns the rank at the given coordinates, wrapping periodic
+// dimensions (MPI_Cart_rank).
+func (cc *CartComm) CartRank(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("mpi: %d coordinates for a %d-dimensional grid", len(coords), len(cc.dims))
+	}
+	norm := make([]int, len(coords))
+	for d, v := range coords {
+		if v < 0 || v >= cc.dims[d] {
+			if !cc.periodic[d] {
+				return 0, fmt.Errorf("mpi: coordinate %d out of the non-periodic dimension %d", v, d)
+			}
+			v = ((v % cc.dims[d]) + cc.dims[d]) % cc.dims[d]
+		}
+		norm[d] = v
+	}
+	return cc.Comm.rankOf(norm, cc.dims), nil
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift): a send to dst pairs with a receive from
+// src. Either may be ProcNull at a non-periodic edge.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("mpi: shift dimension %d out of range", dim)
+	}
+	coords, err := cc.Coords(cc.Rank())
+	if err != nil {
+		return 0, 0, err
+	}
+	neighbour := func(d int) int {
+		c2 := append([]int(nil), coords...)
+		c2[dim] += d
+		r, err := cc.CartRank(c2)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return neighbour(-disp), neighbour(disp), nil
+}

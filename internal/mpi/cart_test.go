@@ -1,0 +1,230 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpimon/internal/netsim"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		n, nd int
+		want  []int
+	}{
+		{12, 2, []int{4, 3}},
+		{16, 2, []int{4, 4}},
+		{8, 3, []int{2, 2, 2}},
+		{7, 2, []int{7, 1}},
+		{1, 3, []int{1, 1, 1}},
+		{24, 2, []int{6, 4}},
+	}
+	for _, c := range cases {
+		got, err := DimsCreate(c.n, c.nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := 1
+		for i, d := range got {
+			prod *= d
+			if d != c.want[i] {
+				t.Errorf("DimsCreate(%d,%d) = %v, want %v", c.n, c.nd, got, c.want)
+				break
+			}
+		}
+		if prod != c.n {
+			t.Fatalf("DimsCreate(%d,%d) = %v does not multiply out", c.n, c.nd, got)
+		}
+	}
+	if _, err := DimsCreate(0, 2); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+	if _, err := DimsCreate(4, 0); err == nil {
+		t.Fatal("zero dims should fail")
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	const np = 6
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < cc.Size(); r++ {
+			coords, err := cc.Coords(r)
+			if err != nil {
+				return err
+			}
+			back, err := cc.CartRank(coords)
+			if err != nil {
+				return err
+			}
+			if back != r {
+				return fmt.Errorf("coords/rank round trip broke: %d -> %v -> %d", r, coords, back)
+			}
+		}
+		// Row-major: rank 4 = (1,1) in a 2x3 grid.
+		coords, _ := cc.Coords(4)
+		if coords[0] != 1 || coords[1] != 1 {
+			return fmt.Errorf("Coords(4) = %v, want [1 1]", coords)
+		}
+		// Periodic wrap in dim 1, not in dim 0.
+		if r, err := cc.CartRank([]int{0, -1}); err != nil || r != 2 {
+			return fmt.Errorf("periodic wrap = %d, %v; want 2", r, err)
+		}
+		if _, err := cc.CartRank([]int{-1, 0}); err == nil {
+			return errors.New("non-periodic out-of-range coordinate should fail")
+		}
+		return nil
+	})
+}
+
+func TestCartShiftAndHaloExchange(t *testing.T) {
+	const np = 8
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{4, 2}, []bool{true, false}, false)
+		if err != nil {
+			return err
+		}
+		// Dim 0 is periodic: every rank has both neighbours.
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if src == ProcNull || dst == ProcNull {
+			return errors.New("periodic dimension produced ProcNull")
+		}
+		// Exchange ranks along the ring and verify.
+		buf := make([]byte, 1)
+		if _, err := cc.Sendrecv(dst, 0, []byte{byte(cc.Rank())}, src, 0, buf); err != nil {
+			return err
+		}
+		if buf[0] != byte(src) {
+			return fmt.Errorf("halo got %d, want %d", buf[0], src)
+		}
+		// Dim 1 is not periodic: edge ranks see ProcNull.
+		coords, _ := cc.Coords(cc.Rank())
+		src1, dst1, err := cc.Shift(1, 1)
+		if err != nil {
+			return err
+		}
+		if coords[1] == 0 && src1 != ProcNull {
+			return fmt.Errorf("edge rank %d has src %d, want ProcNull", cc.Rank(), src1)
+		}
+		if coords[1] == 1 && dst1 != ProcNull {
+			return fmt.Errorf("edge rank %d has dst %d, want ProcNull", cc.Rank(), dst1)
+		}
+		if _, _, err := cc.Shift(5, 1); err == nil {
+			return errors.New("bad dimension should fail")
+		}
+		return nil
+	})
+}
+
+func TestCartSurplusRanksGetNil(t *testing.T) {
+	const np = 6
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{2, 2}, []bool{false, false}, false)
+		if err != nil {
+			return err
+		}
+		if c.Rank() >= 4 {
+			if cc != nil {
+				return errors.New("surplus rank got a grid communicator")
+			}
+			return nil
+		}
+		if cc.Size() != 4 {
+			return fmt.Errorf("grid size %d", cc.Size())
+		}
+		return cc.Barrier()
+	})
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	w := newTestWorld(t, 4)
+	run(t, w, func(c *Comm) error {
+		if _, err := c.CartCreate([]int{2, 2}, []bool{true}, false); err == nil {
+			return errors.New("mismatched periodicity should fail")
+		}
+		if _, err := c.CartCreate([]int{0, 2}, []bool{true, true}, false); err == nil {
+			return errors.New("zero dimension should fail")
+		}
+		if _, err := c.CartCreate([]int{3, 3}, []bool{true, true}, false); err == nil {
+			return errors.New("oversized grid should fail")
+		}
+		return nil
+	})
+}
+
+// TestCartReorderImprovesNeighbourLocality: on a scrambled placement, the
+// reorder flag must co-locate grid neighbours better than the identity
+// numbering — the MPI_Cart_create(reorder=1) promise, honoured here with
+// TreeMatch.
+func TestCartReorderImprovesNeighbourLocality(t *testing.T) {
+	const np = 16
+	mach := netsim.PlaFRIM(2) // 2 nodes x 24 cores
+	// Scrambled placement across both nodes.
+	place := make([]int, np)
+	for i := range place {
+		place[i] = (i * 19) % 48
+	}
+	crossEdges := func(reorder bool) int {
+		w, err := NewWorld(cloneMach(mach), np, WithPlacement(place))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := 0
+		err = w.RunWithTimeout(time.Minute, func(c *Comm) error {
+			cc, err := c.CartCreate([]int{4, 4}, []bool{false, false}, reorder)
+			if err != nil {
+				return err
+			}
+			if c.Rank() != 0 {
+				return nil
+			}
+			// Count grid edges whose endpoints sit on different nodes.
+			topo := w.Machine().Topo
+			placement := w.Placement()
+			coreOfGridRank := make([]int, cc.Size())
+			for r, wr := range cc.Group() {
+				coreOfGridRank[r] = placement[wr]
+			}
+			for r := 0; r < cc.Size(); r++ {
+				coords, _ := cc.Coords(r)
+				for d := 0; d < 2; d++ {
+					c2 := append([]int(nil), coords...)
+					c2[d]++
+					nb, err := cc.CartRank(c2)
+					if err != nil {
+						continue
+					}
+					if !topo.SameNode(coreOfGridRank[r], coreOfGridRank[nb]) {
+						cross++
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cross
+	}
+	base := crossEdges(false)
+	opt := crossEdges(true)
+	if opt >= base {
+		t.Fatalf("reorder did not reduce cross-node grid edges: %d -> %d", base, opt)
+	}
+}
+
+func cloneMach(m *netsim.Machine) *netsim.Machine {
+	c := *m
+	return &c
+}

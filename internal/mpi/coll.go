@@ -1,0 +1,443 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Collective-internal message tags. Collective traffic travels on a
+// separate context (see collCtx), so these never collide with user tags.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+	tagGather  = 4 << 20
+	tagAllgat  = 5 << 20
+	tagScatter = 6 << 20
+	tagAlltoal = 7 << 20
+)
+
+// collCtx returns the context id collective-internal messages of this
+// communicator travel on. Separating it from the user context mirrors how
+// MPI implementations protect collectives from stray user messages.
+func (c *Comm) collCtx() int { return -(c.ctx + 1) }
+
+func (c *Comm) sendOn(ctx, dst, tag int, data []byte, size int) error {
+	saved := c.ctx
+	c.ctx = ctx
+	err := c.send(dst, tag, data, size, c.p.class())
+	c.ctx = saved
+	return err
+}
+
+func (c *Comm) recvOn(ctx, src, tag int, buf []byte) (Status, error) {
+	saved := c.ctx
+	c.ctx = ctx
+	st, err := c.recv(src, tag, buf)
+	c.ctx = saved
+	return st, err
+}
+
+// Barrier blocks until every member of the communicator has entered it. It
+// uses the dissemination algorithm: ceil(log2 n) rounds of zero-byte
+// point-to-point messages — the zero-length internal messages the paper
+// notes collectives may generate.
+func (c *Comm) Barrier() error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.barrier()
+}
+
+func (c *Comm) barrier() error {
+	n := len(c.group)
+	ctx := c.collCtx()
+	for k, off := 0, 1; off < n; k, off = k+1, off*2 {
+		dst := (c.rank + off) % n
+		src := (c.rank - off + n) % n
+		if err := c.sendOn(ctx, dst, tagBarrier+k, nil, 0); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, src, tagBarrier+k, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buf to every member using a binomial tree; on
+// non-root ranks buf receives the data. Collective over c.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.bcast(buf, len(buf), root, true)
+}
+
+// BcastN is Bcast for a logical payload of size bytes with no data movement
+// (skeleton workloads); it sends the exact same tree messages.
+func (c *Comm) BcastN(size, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.bcast(nil, size, root, false)
+}
+
+// bcast is the shared binomial-tree walk. When carry is true, buf holds the
+// payload (root) or receives it (others); when false only sizes move.
+func (c *Comm) bcast(buf []byte, size, root int, carry bool) error {
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	ctx := c.collCtx()
+	vrank := (c.rank - root + n) % n
+
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			src := (c.rank - mask + n) % n
+			var rbuf []byte
+			if carry {
+				rbuf = buf
+			}
+			if _, err := c.recvOn(ctx, src, tagBcast, rbuf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			dst := (c.rank + mask) % n
+			var payload []byte
+			if carry {
+				payload = append([]byte(nil), buf...)
+			}
+			if err := c.sendOn(ctx, dst, tagBcast, payload, size); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Reduce combines every member's send buffer elementwise with op and
+// leaves the result in root's recv buffer. It uses an in-order binary tree
+// (children of virtual rank v are 2v+1 and 2v+2) — the algorithm of the
+// paper's Fig. 5a. recv may be nil on non-root ranks.
+func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.reduceBinary(send, recv, len(send), dt, op, root, true)
+}
+
+// ReduceN is Reduce for a logical payload of size bytes (skeleton mode): the
+// same binary-tree messages, no arithmetic.
+func (c *Comm) ReduceN(size, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.reduceBinary(nil, nil, size, Byte, OpSum, root, false)
+}
+
+func (c *Comm) reduceBinary(send, recv []byte, size int, dt Datatype, op Op, root int, carry bool) error {
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	vrank := (c.rank - root + n) % n
+	toReal := func(v int) int { return (v + root) % n }
+
+	var acc []byte
+	if carry {
+		acc = append([]byte(nil), send...)
+	}
+	for _, child := range []int{2*vrank + 1, 2*vrank + 2} {
+		if child >= n {
+			continue
+		}
+		var rbuf []byte
+		if carry {
+			rbuf = make([]byte, size)
+		}
+		if _, err := c.recvOn(ctx, toReal(child), tagReduce, rbuf); err != nil {
+			return err
+		}
+		if carry {
+			if err := reduceInto(acc, rbuf, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+	if vrank == 0 {
+		if carry {
+			if len(recv) != size {
+				return fmt.Errorf("mpi: reduce root recv buffer has %d bytes, want %d", len(recv), size)
+			}
+			copy(recv, acc)
+		}
+		return nil
+	}
+	parent := toReal((vrank - 1) / 2)
+	return c.sendOn(ctx, parent, tagReduce, acc, size)
+}
+
+// ReduceBinomial is Reduce with the binomial-tree algorithm, provided as an
+// alternative for the collective-algorithm ablation.
+func (c *Comm) ReduceBinomial(send, recv []byte, dt Datatype, op Op, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	size := len(send)
+	vrank := (c.rank - root + n) % n
+	toReal := func(v int) int { return (v + root) % n }
+	acc := append([]byte(nil), send...)
+
+	mask := 1
+	for mask < n {
+		if vrank&mask == 0 {
+			child := vrank | mask
+			if child < n {
+				rbuf := make([]byte, size)
+				if _, err := c.recvOn(ctx, toReal(child), tagReduce, rbuf); err != nil {
+					return err
+				}
+				if err := reduceInto(acc, rbuf, dt, op); err != nil {
+					return err
+				}
+			}
+		} else {
+			parent := toReal(vrank &^ mask)
+			return c.sendOn(ctx, parent, tagReduce, acc, size)
+		}
+		mask <<= 1
+	}
+	if len(recv) != size {
+		return fmt.Errorf("mpi: reduce root recv buffer has %d bytes, want %d", len(recv), size)
+	}
+	copy(recv, acc)
+	return nil
+}
+
+// Allreduce reduces to rank 0 and broadcasts the result; every member's
+// recv buffer receives the combined value.
+func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: allreduce buffers differ in length (%d vs %d)", len(send), len(recv))
+	}
+	if err := c.reduceBinary(send, recv, len(send), dt, op, 0, true); err != nil {
+		return err
+	}
+	return c.bcast(recv, len(recv), 0, true)
+}
+
+// Gather collects every member's equally-sized send buffer into root's recv
+// buffer, ordered by rank (linear algorithm). recv must be nil on non-root
+// ranks and len(send)*Size() bytes on root.
+func (c *Comm) Gather(send, recv []byte, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.gather(send, recv, root)
+}
+
+func (c *Comm) gather(send, recv []byte, root int) error {
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	blk := len(send)
+	if c.rank != root {
+		return c.sendOn(ctx, root, tagGather, append([]byte(nil), send...), blk)
+	}
+	if len(recv) != n*blk {
+		return fmt.Errorf("mpi: gather root recv buffer has %d bytes, want %d", len(recv), n*blk)
+	}
+	copy(recv[root*blk:], send)
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		if _, err := c.recvOn(ctx, i, tagGather, recv[i*blk:(i+1)*blk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherN is Gather with logical sizes only.
+func (c *Comm) GatherN(size, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	if c.rank != root {
+		return c.sendOn(ctx, root, tagGather, nil, size)
+	}
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		if _, err := c.recvOn(ctx, i, tagGather, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather concatenates every member's equally-sized send buffer into each
+// member's recv buffer, ordered by rank. It uses the ring algorithm: n-1
+// neighbour exchanges, each of one block.
+func (c *Comm) Allgather(send, recv []byte) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	return c.allgather(send, recv)
+}
+
+func (c *Comm) allgather(send, recv []byte) error {
+	n := len(c.group)
+	blk := len(send)
+	if len(recv) != n*blk {
+		return fmt.Errorf("mpi: allgather recv buffer has %d bytes, want %d", len(recv), n*blk)
+	}
+	copy(recv[c.rank*blk:], send)
+	if n == 1 {
+		return nil
+	}
+	ctx := c.collCtx()
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlk := (c.rank - s + n) % n
+		recvBlk := (c.rank - s - 1 + n) % n
+		payload := append([]byte(nil), recv[sendBlk*blk:(sendBlk+1)*blk]...)
+		if err := c.sendOn(ctx, right, tagAllgat+s, payload, blk); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, left, tagAllgat+s, recv[recvBlk*blk:(recvBlk+1)*blk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherN is Allgather with a logical per-member block of size bytes.
+func (c *Comm) AllgatherN(size int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+	n := len(c.group)
+	if n == 1 {
+		return nil
+	}
+	ctx := c.collCtx()
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		if err := c.sendOn(ctx, right, tagAllgat+s, nil, size); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, left, tagAllgat+s, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes root's recv-sized blocks to every member (linear
+// algorithm): member i receives send[i*blk:(i+1)*blk] into recv. send is
+// read on root only.
+func (c *Comm) Scatter(send, recv []byte, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	blk := len(recv)
+	if c.rank == root {
+		if len(send) != n*blk {
+			return fmt.Errorf("mpi: scatter root send buffer has %d bytes, want %d", len(send), n*blk)
+		}
+		for i := 0; i < n; i++ {
+			if i == root {
+				copy(recv, send[i*blk:(i+1)*blk])
+				continue
+			}
+			if err := c.sendOn(ctx, i, tagScatter, append([]byte(nil), send[i*blk:(i+1)*blk]...), blk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := c.recvOn(ctx, root, tagScatter, recv)
+	return err
+}
+
+// Alltoall exchanges equally-sized blocks between all pairs: member j
+// receives send[j*blk:(j+1)*blk] of member i at recv[i*blk:(i+1)*blk].
+// Pairwise-exchange algorithm, n-1 rounds.
+func (c *Comm) Alltoall(send, recv []byte) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if len(send)%n != 0 || len(recv) != len(send) {
+		return fmt.Errorf("mpi: alltoall buffers must be equal multiples of the group size (send %d, recv %d, n %d)", len(send), len(recv), n)
+	}
+	blk := len(send) / n
+	ctx := c.collCtx()
+	copy(recv[c.rank*blk:(c.rank+1)*blk], send[c.rank*blk:(c.rank+1)*blk])
+	for s := 1; s < n; s++ {
+		dst := (c.rank + s) % n
+		src := (c.rank - s + n) % n
+		payload := append([]byte(nil), send[dst*blk:(dst+1)*blk]...)
+		if err := c.sendOn(ctx, dst, tagAlltoal+s, payload, blk); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, src, tagAlltoal+s, recv[src*blk:(src+1)*blk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package mpi
+
+// Additional collective algorithms. Like Open MPI's tuned collective
+// component, the runtime offers several algorithms per operation: the
+// defaults in coll.go are the ones the paper's experiments name (binomial
+// bcast, binary-tree reduce, ring allgather); this file adds the variants
+// used for large messages or power-of-two groups, plus the v-variants with
+// per-rank block sizes. All decompose into point-to-point messages on the
+// collective context, so the monitoring component sees them the same way.
+
+import (
+	"fmt"
+)
+
+const (
+	tagRsct  = 12 << 20
+	tagScan  = 13 << 20
+	tagBsag  = 14 << 20
+	tagGathv = 15 << 20
+)
+
+// AllreduceRD performs an allreduce with the recursive-doubling algorithm:
+// log2(n) rounds of pairwise exchange-and-combine. For non-power-of-two
+// groups the standard pre/post folding steps are applied. It is
+// latency-optimal for short vectors, whereas Allreduce (reduce+bcast) moves
+// less data at the root for long ones.
+func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: allreduce buffers differ in length (%d vs %d)", len(send), len(recv))
+	}
+	n := len(c.group)
+	ctx := c.collCtx()
+	copy(recv, send)
+	if n == 1 {
+		return nil
+	}
+
+	// pof2 = largest power of two <= n.
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	size := len(send)
+
+	// Pre-step: the first 2*rem ranks fold pairwise so that pof2 ranks
+	// hold partial results.
+	newRank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 0:
+		// Sends its data to rank+1 and sits out.
+		if err := c.sendOn(ctx, c.rank+1, tagRsct, append([]byte(nil), recv...), size); err != nil {
+			return err
+		}
+	case c.rank < 2*rem:
+		buf := make([]byte, size)
+		if _, err := c.recvOn(ctx, c.rank-1, tagRsct, buf); err != nil {
+			return err
+		}
+		if err := reduceInto(recv, buf, dt, op); err != nil {
+			return err
+		}
+		newRank = c.rank / 2
+	default:
+		newRank = c.rank - rem
+	}
+
+	if newRank >= 0 {
+		buf := make([]byte, size)
+		for mask := 1; mask < pof2; mask <<= 1 {
+			newPeer := newRank ^ mask
+			peer := newPeer + rem
+			if newPeer < rem {
+				peer = newPeer * 2
+				peer++ // odd ranks of the folded region hold the data
+			}
+			if _, err := c.sendrecvOn(ctx, peer, tagRsct+mask, append([]byte(nil), recv...), size, peer, tagRsct+mask, buf); err != nil {
+				return err
+			}
+			if err := reduceInto(recv, buf, dt, op); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Post-step: folded-out even ranks get the result from their partner.
+	if c.rank < 2*rem {
+		if c.rank%2 == 0 {
+			if _, err := c.recvOn(ctx, c.rank+1, tagRsct+1<<19, recv); err != nil {
+				return err
+			}
+		} else {
+			if err := c.sendOn(ctx, c.rank-1, tagRsct+1<<19, append([]byte(nil), recv...), size); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendrecvOn is a combined exchange on an explicit context.
+func (c *Comm) sendrecvOn(ctx, dst, sendTag int, data []byte, size int, src, recvTag int, buf []byte) (Status, error) {
+	if err := c.sendOn(ctx, dst, sendTag, data, size); err != nil {
+		return Status{}, err
+	}
+	return c.recvOn(ctx, src, recvTag, buf)
+}
+
+// ReduceScatterBlock reduces elementwise across the group and leaves block
+// i of the result (len(send)/n bytes) on rank i, using n-1 pairwise
+// exchange rounds. send must be a multiple of n times the element size;
+// recv receives one block.
+func (c *Comm) ReduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if len(send)%n != 0 {
+		return fmt.Errorf("mpi: reduce-scatter buffer of %d bytes is not divisible by %d ranks", len(send), n)
+	}
+	blk := len(send) / n
+	if len(recv) != blk {
+		return fmt.Errorf("mpi: reduce-scatter recv buffer has %d bytes, want %d", len(recv), blk)
+	}
+	ctx := c.collCtx()
+	acc := append([]byte(nil), send[c.rank*blk:(c.rank+1)*blk]...)
+	buf := make([]byte, blk)
+	// Pairwise exchange: in round s, send the block owned by (rank+s) to
+	// its owner and combine the block received for us.
+	for s := 1; s < n; s++ {
+		dst := (c.rank + s) % n
+		src := (c.rank - s + n) % n
+		payload := append([]byte(nil), send[dst*blk:(dst+1)*blk]...)
+		if _, err := c.sendrecvOn(ctx, dst, tagRsct+s, payload, blk, src, tagRsct+s, buf); err != nil {
+			return err
+		}
+		if err := reduceInto(acc, buf, dt, op); err != nil {
+			return err
+		}
+	}
+	copy(recv, acc)
+	return nil
+}
+
+// Scan computes the inclusive prefix reduction: rank i's recv holds
+// op(send_0, ..., send_i). Linear-chain algorithm.
+func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: scan buffers differ in length (%d vs %d)", len(send), len(recv))
+	}
+	ctx := c.collCtx()
+	copy(recv, send)
+	if c.rank > 0 {
+		buf := make([]byte, len(send))
+		if _, err := c.recvOn(ctx, c.rank-1, tagScan, buf); err != nil {
+			return err
+		}
+		// Prefix order: earlier ranks combine on the left.
+		if err := reduceInto(buf, send, dt, op); err != nil {
+			return err
+		}
+		copy(recv, buf)
+	}
+	if c.rank < len(c.group)-1 {
+		return c.sendOn(ctx, c.rank+1, tagScan, append([]byte(nil), recv...), len(recv))
+	}
+	return nil
+}
+
+// Exscan computes the exclusive prefix reduction: rank i's recv holds
+// op(send_0, ..., send_{i-1}); rank 0's recv is left untouched, as in MPI.
+func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	if len(recv) != len(send) {
+		return fmt.Errorf("mpi: exscan buffers differ in length (%d vs %d)", len(send), len(recv))
+	}
+	ctx := c.collCtx()
+	n := len(c.group)
+	var prefix []byte
+	if c.rank > 0 {
+		prefix = make([]byte, len(send))
+		if _, err := c.recvOn(ctx, c.rank-1, tagScan, prefix); err != nil {
+			return err
+		}
+		copy(recv, prefix)
+	}
+	if c.rank < n-1 {
+		out := append([]byte(nil), send...)
+		if prefix != nil {
+			tmp := append([]byte(nil), prefix...)
+			if err := reduceInto(tmp, send, dt, op); err != nil {
+				return err
+			}
+			out = tmp
+		}
+		return c.sendOn(ctx, c.rank+1, tagScan, out, len(out))
+	}
+	return nil
+}
+
+// BcastSAG broadcasts with the scatter-allgather (van de Geijn) algorithm,
+// the usual choice for large buffers: the root scatters blocks binomially,
+// then a ring allgather reassembles them everywhere. The buffer length must
+// be divisible by the group size.
+func (c *Comm) BcastSAG(buf []byte, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	if len(buf)%n != 0 {
+		return fmt.Errorf("mpi: scatter-allgather bcast needs a buffer divisible by %d ranks, got %d bytes", n, len(buf))
+	}
+	blk := len(buf) / n
+	ctx := c.collCtx()
+
+	// Scatter: relative rank r receives blocks [r, r+span) from its
+	// binomial parent and forwards halves down the tree.
+	vrank := (c.rank - root + n) % n
+	toReal := func(v int) int { return (v + root) % n }
+	// Find the number of blocks this vrank is responsible for: largest
+	// power-of-two span below its subtree, clipped to n.
+	recvFrom := -1
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			recvFrom = vrank &^ mask
+			break
+		}
+		mask <<= 1
+	}
+	span := mask // blocks [vrank, vrank+span) clipped at n
+	if vrank == 0 {
+		span = 1
+		for span < n {
+			span <<= 1
+		}
+	}
+	if recvFrom >= 0 {
+		hi := vrank + span
+		if hi > n {
+			hi = n
+		}
+		if _, err := c.recvOn(ctx, toReal(recvFrom), tagBsag, buf[vrank*blk:hi*blk]); err != nil {
+			return err
+		}
+	}
+	child := span >> 1
+	for child > 0 {
+		cv := vrank + child
+		if cv < n {
+			hi := cv + child
+			if hi > n {
+				hi = n
+			}
+			payload := append([]byte(nil), buf[cv*blk:hi*blk]...)
+			if err := c.sendOn(ctx, toReal(cv), tagBsag, payload, len(payload)); err != nil {
+				return err
+			}
+		}
+		child >>= 1
+	}
+
+	// Allgather (ring) over the blocks, indexed by vrank.
+	right := toReal((vrank + 1) % n)
+	left := toReal((vrank - 1 + n) % n)
+	for s := 0; s < n-1; s++ {
+		sendBlk := (vrank - s + n) % n
+		recvBlk := (vrank - s - 1 + n) % n
+		payload := append([]byte(nil), buf[sendBlk*blk:(sendBlk+1)*blk]...)
+		if err := c.sendOn(ctx, right, tagBsag+1+s, payload, blk); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, left, tagBsag+1+s, buf[recvBlk*blk:(recvBlk+1)*blk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherRD is the recursive-doubling allgather for power-of-two groups:
+// log2(n) rounds exchanging doubling block ranges. Falls back to the ring
+// algorithm otherwise.
+func (c *Comm) AllgatherRD(send, recv []byte) error {
+	n := len(c.group)
+	if n&(n-1) != 0 {
+		return c.Allgather(send, recv)
+	}
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	blk := len(send)
+	if len(recv) != n*blk {
+		return fmt.Errorf("mpi: allgather recv buffer has %d bytes, want %d", len(recv), n*blk)
+	}
+	ctx := c.collCtx()
+	copy(recv[c.rank*blk:], send)
+	// After round k, each rank holds the 2^(k+1) blocks of its aligned
+	// group.
+	for mask := 1; mask < n; mask <<= 1 {
+		peer := c.rank ^ mask
+		lo := (c.rank &^ (mask - 1)) * blk // aligned start of held range
+		held := mask * blk
+		start := (c.rank &^ (2*mask - 1)) * blk // range after the round
+		payload := append([]byte(nil), recv[lo:lo+held]...)
+		peerLo := (peer &^ (mask - 1)) * blk
+		if err := c.sendOn(ctx, peer, tagAllgat+1<<10+mask, payload, held); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, peer, tagAllgat+1<<10+mask, recv[peerLo:peerLo+held]); err != nil {
+			return err
+		}
+		_ = start
+	}
+	return nil
+}
+
+// Gatherv collects variable-length blocks at root: every rank contributes
+// send, root receives rank i's data at recv[displs[i]:displs[i]+counts[i]].
+// counts and displs are significant at root only.
+func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	if c.rank != root {
+		return c.sendOn(ctx, root, tagGathv, append([]byte(nil), send...), len(send))
+	}
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("mpi: gatherv needs %d counts and displs, got %d/%d", n, len(counts), len(displs))
+	}
+	for i := 0; i < n; i++ {
+		if displs[i] < 0 || displs[i]+counts[i] > len(recv) {
+			return fmt.Errorf("mpi: gatherv block %d [%d,%d) outside recv buffer of %d bytes", i, displs[i], displs[i]+counts[i], len(recv))
+		}
+	}
+	copy(recv[displs[root]:displs[root]+counts[root]], send)
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		st, err := c.recvOn(ctx, i, tagGathv, recv[displs[i]:displs[i]+counts[i]])
+		if err != nil {
+			return err
+		}
+		if st.Size != counts[i] {
+			return fmt.Errorf("mpi: gatherv rank %d sent %d bytes, root expected %d", i, st.Size, counts[i])
+		}
+	}
+	return nil
+}
+
+// Scatterv distributes variable-length blocks from root: rank i receives
+// send[displs[i]:displs[i]+counts[i]] into recv. counts and displs are
+// significant at root only; recv must be counts[rank] bytes long.
+func (c *Comm) Scatterv(send []byte, counts, displs []int, recv []byte, root int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if err := c.checkRank(root, "root"); err != nil {
+		return err
+	}
+	ctx := c.collCtx()
+	if c.rank != root {
+		_, err := c.recvOn(ctx, root, tagGathv, recv)
+		return err
+	}
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("mpi: scatterv needs %d counts and displs, got %d/%d", n, len(counts), len(displs))
+	}
+	for i := 0; i < n; i++ {
+		if displs[i] < 0 || displs[i]+counts[i] > len(send) {
+			return fmt.Errorf("mpi: scatterv block %d [%d,%d) outside send buffer of %d bytes", i, displs[i], displs[i]+counts[i], len(send))
+		}
+		if i == root {
+			copy(recv, send[displs[i]:displs[i]+counts[i]])
+			continue
+		}
+		payload := append([]byte(nil), send[displs[i]:displs[i]+counts[i]]...)
+		if err := c.sendOn(ctx, i, tagGathv, payload, counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

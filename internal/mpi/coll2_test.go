@@ -1,0 +1,312 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestAllreduceRDMatchesAllreduce(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16} {
+		w := newTestWorld(t, minInt(np, 8))
+		np := w.Size()
+		run(t, w, func(c *Comm) error {
+			send := EncodeFloat64s([]float64{float64(c.Rank() + 1), -2, float64(c.Rank() * c.Rank())})
+			r1 := make([]byte, len(send))
+			r2 := make([]byte, len(send))
+			if err := c.Allreduce(send, r1, Float64, OpSum); err != nil {
+				return err
+			}
+			if err := c.AllreduceRD(send, r2, Float64, OpSum); err != nil {
+				return err
+			}
+			if !bytes.Equal(r1, r2) {
+				return fmt.Errorf("np=%d rank=%d: RD %v vs reduce+bcast %v",
+					np, c.Rank(), DecodeFloat64s(r2), DecodeFloat64s(r1))
+			}
+			return nil
+		})
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAllreduceRDMax(t *testing.T) {
+	w := newTestWorld(t, 6) // non-power-of-two exercises the fold steps
+	run(t, w, func(c *Comm) error {
+		send := EncodeInts([]int{c.Rank() * 7})
+		recv := make([]byte, len(send))
+		if err := c.AllreduceRD(send, recv, Int64, OpMax); err != nil {
+			return err
+		}
+		if got := DecodeInts(recv)[0]; got != 35 {
+			return fmt.Errorf("rank %d: max = %d, want 35", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		// send[j] = rank + j for block j; sum over ranks of block j's
+		// element = sum(ranks) + np*j.
+		vals := make([]float64, np)
+		for j := range vals {
+			vals[j] = float64(c.Rank() + j)
+		}
+		send := EncodeFloat64s(vals)
+		recv := make([]byte, 8)
+		if err := c.ReduceScatterBlock(send, recv, Float64, OpSum); err != nil {
+			return err
+		}
+		want := float64(0+1+2+3) + float64(np*c.Rank())
+		if got := DecodeFloat64s(recv)[0]; got != want {
+			return fmt.Errorf("rank %d got %v, want %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestReduceScatterBlockValidation(t *testing.T) {
+	w := newTestWorld(t, 3)
+	run(t, w, func(c *Comm) error {
+		if err := c.ReduceScatterBlock(make([]byte, 10), make([]byte, 3), Byte, OpSum); err == nil {
+			return errors.New("indivisible buffer should fail")
+		}
+		if err := c.ReduceScatterBlock(make([]byte, 9), make([]byte, 2), Byte, OpSum); err == nil {
+			return errors.New("wrong recv size should fail")
+		}
+		return nil
+	})
+}
+
+func TestScanInclusive(t *testing.T) {
+	const np = 6
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := EncodeInts([]int{c.Rank() + 1})
+		recv := make([]byte, len(send))
+		if err := c.Scan(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		want := (c.Rank() + 1) * (c.Rank() + 2) / 2
+		if got := DecodeInts(recv)[0]; got != want {
+			return fmt.Errorf("rank %d scan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestExscan(t *testing.T) {
+	const np = 5
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := EncodeInts([]int{c.Rank() + 1})
+		recv := EncodeInts([]int{-99}) // rank 0's must stay untouched
+		if err := c.Exscan(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		got := DecodeInts(recv)[0]
+		if c.Rank() == 0 {
+			if got != -99 {
+				return fmt.Errorf("rank 0 exscan touched the buffer: %d", got)
+			}
+			return nil
+		}
+		want := c.Rank() * (c.Rank() + 1) / 2
+		if got != want {
+			return fmt.Errorf("rank %d exscan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestBcastSAG(t *testing.T) {
+	for _, np := range []int{2, 4, 8} {
+		for root := 0; root < np; root += 3 {
+			w := newTestWorld(t, np)
+			run(t, w, func(c *Comm) error {
+				buf := make([]byte, np*8)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(i ^ root)
+					}
+				}
+				if err := c.BcastSAG(buf, root); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != byte(i^root) {
+						return fmt.Errorf("np=%d root=%d rank=%d byte %d = %d", np, root, c.Rank(), i, buf[i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestBcastSAGMatchesBcastContent(t *testing.T) {
+	const np = 8
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		a := make([]byte, 64)
+		bb := make([]byte, 64)
+		if c.Rank() == 2 {
+			for i := range a {
+				a[i] = byte(3 * i)
+				bb[i] = byte(3 * i)
+			}
+		}
+		if err := c.Bcast(a, 2); err != nil {
+			return err
+		}
+		if err := c.BcastSAG(bb, 2); err != nil {
+			return err
+		}
+		if !bytes.Equal(a, bb) {
+			return fmt.Errorf("SAG and binomial bcast disagree on rank %d", c.Rank())
+		}
+		return nil
+	})
+}
+
+func TestBcastSAGValidation(t *testing.T) {
+	w := newTestWorld(t, 3)
+	run(t, w, func(c *Comm) error {
+		if err := c.BcastSAG(make([]byte, 7), 0); err == nil {
+			return errors.New("indivisible buffer should fail")
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRDMatchesRing(t *testing.T) {
+	for _, np := range []int{2, 4, 8} {
+		w := newTestWorld(t, np)
+		run(t, w, func(c *Comm) error {
+			send := []byte{byte(50 + c.Rank()), byte(c.Rank())}
+			r1 := make([]byte, np*2)
+			r2 := make([]byte, np*2)
+			if err := c.Allgather(send, r1); err != nil {
+				return err
+			}
+			if err := c.AllgatherRD(send, r2); err != nil {
+				return err
+			}
+			if !bytes.Equal(r1, r2) {
+				return fmt.Errorf("np=%d rank=%d: RD %v vs ring %v", np, c.Rank(), r2, r1)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgatherRDFallsBackForOddSizes(t *testing.T) {
+	const np = 5
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := []byte{byte(c.Rank())}
+		recv := make([]byte, np)
+		if err := c.AllgatherRD(send, recv); err != nil {
+			return err
+		}
+		for i := range recv {
+			if recv[i] != byte(i) {
+				return fmt.Errorf("fallback allgather wrong: %v", recv)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		// Rank i contributes i+1 bytes of value i.
+		mine := make([]byte, c.Rank()+1)
+		for i := range mine {
+			mine[i] = byte(c.Rank())
+		}
+		counts := []int{1, 2, 3, 4}
+		displs := []int{0, 1, 3, 6}
+		var all []byte
+		if c.Rank() == 0 {
+			all = make([]byte, 10)
+		}
+		if err := c.Gatherv(mine, all, counts, displs, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			want := []byte{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+			if !bytes.Equal(all, want) {
+				return fmt.Errorf("gatherv = %v, want %v", all, want)
+			}
+		}
+		// Scatter it back out.
+		back := make([]byte, c.Rank()+1)
+		if err := c.Scatterv(all, counts, displs, back, 0); err != nil {
+			return err
+		}
+		for i := range back {
+			if back[i] != byte(c.Rank()) {
+				return fmt.Errorf("scatterv to rank %d = %v", c.Rank(), back)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGathervValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// counts/displs overflow the recv buffer.
+			if err := c.Gatherv([]byte{1}, make([]byte, 2), []int{1, 5}, []int{0, 1}, 0); err == nil {
+				return errors.New("overflowing gatherv should fail")
+			}
+			// Consume rank 1's pending block with a correct call.
+			return c.Gatherv([]byte{1}, make([]byte, 2), []int{1, 1}, []int{0, 1}, 0)
+		}
+		if err := c.Gatherv([]byte{9}, nil, nil, nil, 0); err != nil {
+			return err
+		}
+		return c.Gatherv([]byte{9}, nil, nil, nil, 0)
+	})
+}
+
+func TestVariantCollectivesAreMonitoredAsColl(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := EncodeInts([]int{1})
+		recv := make([]byte, len(send))
+		if err := c.AllreduceRD(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		if err := c.Scan(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		return nil
+	})
+	var p2p, coll uint64
+	for r := 0; r < np; r++ {
+		p2p += w.Proc(r).Monitor().TotalBytes(0)  // pml.P2P
+		coll += w.Proc(r).Monitor().TotalBytes(1) // pml.Coll
+	}
+	if p2p != 0 {
+		t.Fatalf("variant collectives leaked %d bytes into the P2P class", p2p)
+	}
+	if coll == 0 {
+		t.Fatal("variant collectives recorded nothing")
+	}
+}

@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+const tagAlltoallv = 16 << 20
+
+// Alltoallv exchanges variable-length blocks between all pairs: rank i
+// sends send[sdispls[j]:sdispls[j]+scounts[j]] to rank j and receives rank
+// j's block for it at recv[rdispls[j]:rdispls[j]+rcounts[j]]. All four
+// count/displacement slices are per-rank local arguments, as in MPI.
+func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	for name, s := range map[string][]int{"scounts": scounts, "sdispls": sdispls, "rcounts": rcounts, "rdispls": rdispls} {
+		if len(s) != n {
+			return fmt.Errorf("mpi: alltoallv %s has %d entries for %d ranks", name, len(s), n)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if sdispls[j] < 0 || scounts[j] < 0 || sdispls[j]+scounts[j] > len(send) {
+			return fmt.Errorf("mpi: alltoallv send block %d [%d,%d) outside buffer of %d bytes", j, sdispls[j], sdispls[j]+scounts[j], len(send))
+		}
+		if rdispls[j] < 0 || rcounts[j] < 0 || rdispls[j]+rcounts[j] > len(recv) {
+			return fmt.Errorf("mpi: alltoallv recv block %d [%d,%d) outside buffer of %d bytes", j, rdispls[j], rdispls[j]+rcounts[j], len(recv))
+		}
+	}
+	ctx := c.collCtx()
+	copy(recv[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]], send[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
+	for s := 1; s < n; s++ {
+		dst := (c.rank + s) % n
+		src := (c.rank - s + n) % n
+		payload := append([]byte(nil), send[sdispls[dst]:sdispls[dst]+scounts[dst]]...)
+		if err := c.sendOn(ctx, dst, tagAlltoallv+s, payload, scounts[dst]); err != nil {
+			return err
+		}
+		st, err := c.recvOn(ctx, src, tagAlltoallv+s, recv[rdispls[src]:rdispls[src]+rcounts[src]])
+		if err != nil {
+			return err
+		}
+		if st.Size != rcounts[src] {
+			return fmt.Errorf("mpi: alltoallv rank %d sent %d bytes, expected %d", src, st.Size, rcounts[src])
+		}
+	}
+	return nil
+}
+
+// CreateSub builds a communicator containing exactly the given ranks of c
+// (MPI_Comm_create with an explicit group): members get a communicator
+// ranked by their position in ranks; non-members get nil. Collective over
+// c; every member must pass the same ranks.
+func (c *Comm) CreateSub(ranks []int) (*Comm, error) {
+	seen := make(map[int]bool, len(ranks))
+	myIdx := -1
+	for i, r := range ranks {
+		if err := c.checkRank(r, "group member"); err != nil {
+			return nil, err
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: duplicate rank %d in group", r)
+		}
+		seen[r] = true
+		if r == c.rank {
+			myIdx = i
+		}
+	}
+	// Implemented over Split: color by membership, key by position so
+	// the new ranks follow the given order.
+	color := 0
+	key := 0
+	if myIdx < 0 {
+		color = -1
+	} else {
+		key = myIdx
+	}
+	return c.Split(color, key)
+}
+
+// GroupRanksByNode returns the ranks of the communicator grouped by the
+// compute node their process runs on, each group ascending, groups ordered
+// by node id — a convenience for building per-node subcommunicators
+// (MPI_Comm_split_type(COMM_TYPE_SHARED) in spirit).
+func (c *Comm) GroupRanksByNode() [][]int {
+	topo := c.World().Machine().Topo
+	place := c.World().Placement()
+	byNode := make(map[int][]int)
+	for r := 0; r < c.Size(); r++ {
+		node := topo.NodeOf(place[c.WorldRank(r)])
+		byNode[node] = append(byNode[node], r)
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([][]int, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, byNode[n])
+	}
+	return out
+}
+
+// SplitByNode returns a communicator of the ranks sharing this process's
+// compute node (the shared-memory domain). Collective over c.
+func (c *Comm) SplitByNode() (*Comm, error) {
+	topo := c.World().Machine().Topo
+	node := topo.NodeOf(c.p.Core())
+	return c.Split(node, c.rank)
+}
+
+// Allgatherv concatenates variable-length blocks from every member into
+// each member's recv buffer: rank i's send lands at
+// recv[displs[i]:displs[i]+counts[i]] everywhere. counts and displs must be
+// identical on all ranks, as in MPI.
+func (c *Comm) Allgatherv(send []byte, recv []byte, counts, displs []int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	c.p.beginInternal()
+	defer c.p.endInternal()
+
+	n := len(c.group)
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("mpi: allgatherv needs %d counts and displs, got %d/%d", n, len(counts), len(displs))
+	}
+	if len(send) != counts[c.rank] {
+		return fmt.Errorf("mpi: allgatherv rank %d sends %d bytes, counts says %d", c.rank, len(send), counts[c.rank])
+	}
+	for i := 0; i < n; i++ {
+		if displs[i] < 0 || counts[i] < 0 || displs[i]+counts[i] > len(recv) {
+			return fmt.Errorf("mpi: allgatherv block %d [%d,%d) outside recv buffer of %d bytes", i, displs[i], displs[i]+counts[i], len(recv))
+		}
+	}
+	ctx := c.collCtx()
+	copy(recv[displs[c.rank]:displs[c.rank]+counts[c.rank]], send)
+	if n == 1 {
+		return nil
+	}
+	// Ring algorithm over variable blocks.
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlk := (c.rank - s + n) % n
+		recvBlk := (c.rank - s - 1 + n) % n
+		payload := append([]byte(nil), recv[displs[sendBlk]:displs[sendBlk]+counts[sendBlk]]...)
+		if err := c.sendOn(ctx, right, tagAllgat+1<<12+s, payload, counts[sendBlk]); err != nil {
+			return err
+		}
+		if _, err := c.recvOn(ctx, left, tagAllgat+1<<12+s, recv[displs[recvBlk]:displs[recvBlk]+counts[recvBlk]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

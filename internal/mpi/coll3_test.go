@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestAlltoallv(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		me := c.Rank()
+		// Rank i sends j+1 bytes of value 10*i+j to rank j.
+		scounts := make([]int, np)
+		sdispls := make([]int, np)
+		total := 0
+		for j := 0; j < np; j++ {
+			scounts[j] = j + 1
+			sdispls[j] = total
+			total += j + 1
+		}
+		send := make([]byte, total)
+		for j := 0; j < np; j++ {
+			for k := 0; k < scounts[j]; k++ {
+				send[sdispls[j]+k] = byte(10*me + j)
+			}
+		}
+		// Everyone receives me+1 bytes from each rank.
+		rcounts := make([]int, np)
+		rdispls := make([]int, np)
+		rtotal := 0
+		for j := 0; j < np; j++ {
+			rcounts[j] = me + 1
+			rdispls[j] = rtotal
+			rtotal += me + 1
+		}
+		recv := make([]byte, rtotal)
+		if err := c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		for j := 0; j < np; j++ {
+			for k := 0; k < rcounts[j]; k++ {
+				if got := recv[rdispls[j]+k]; got != byte(10*j+me) {
+					return fmt.Errorf("rank %d block from %d = %d, want %d", me, j, got, 10*j+me)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallvValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		two := []int{1, 1}
+		zeroes := []int{0, 0}
+		if err := c.Alltoallv(nil, []int{1}, zeroes, nil, two, zeroes); err == nil {
+			return errors.New("short scounts should fail")
+		}
+		if err := c.Alltoallv(make([]byte, 1), two, []int{0, 5}, make([]byte, 2), two, []int{0, 1}); err == nil {
+			return errors.New("out-of-range send block should fail")
+		}
+		return nil
+	})
+}
+
+func TestCreateSub(t *testing.T) {
+	const np = 6
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		// Members in a deliberate non-ascending order: ranks get the
+		// positions in the list.
+		group := []int{4, 1, 3}
+		sub, err := c.CreateSub(group)
+		if err != nil {
+			return err
+		}
+		member := c.Rank() == 4 || c.Rank() == 1 || c.Rank() == 3
+		if !member {
+			if sub != nil {
+				return errors.New("non-member got a communicator")
+			}
+			return nil
+		}
+		want := map[int]int{4: 0, 1: 1, 3: 2}[c.Rank()]
+		if sub.Rank() != want {
+			return fmt.Errorf("world rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		return sub.Barrier()
+	})
+}
+
+func TestCreateSubValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if _, err := c.CreateSub([]int{0, 0}); err == nil {
+			return errors.New("duplicate member should fail")
+		}
+		if _, err := c.CreateSub([]int{7}); err == nil {
+			return errors.New("out-of-range member should fail")
+		}
+		return nil
+	})
+}
+
+func TestSplitByNode(t *testing.T) {
+	// Default packed placement on a 2x2x2 machine: ranks 0-3 on node 0,
+	// 4-7 on node 1.
+	const np = 8
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		sub, err := c.SplitByNode()
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 4 {
+			return fmt.Errorf("node comm size %d, want 4", sub.Size())
+		}
+		wantFirst := (c.Rank() / 4) * 4
+		if sub.WorldRank(0) != wantFirst {
+			return fmt.Errorf("node comm starts at world rank %d, want %d", sub.WorldRank(0), wantFirst)
+		}
+		return sub.Barrier()
+	})
+}
+
+func TestGroupRanksByNode(t *testing.T) {
+	const np = 8
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		groups := c.GroupRanksByNode()
+		if len(groups) != 2 {
+			return fmt.Errorf("%d node groups, want 2", len(groups))
+		}
+		for g, members := range groups {
+			for i, r := range members {
+				if r != g*4+i {
+					return fmt.Errorf("groups = %v", groups)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const np = 5
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		counts := []int{1, 2, 3, 4, 5}
+		displs := []int{0, 1, 3, 6, 10}
+		mine := make([]byte, counts[c.Rank()])
+		for i := range mine {
+			mine[i] = byte(c.Rank() + 1)
+		}
+		recv := make([]byte, 15)
+		if err := c.Allgatherv(mine, recv, counts, displs); err != nil {
+			return err
+		}
+		for i := 0; i < np; i++ {
+			for k := 0; k < counts[i]; k++ {
+				if recv[displs[i]+k] != byte(i+1) {
+					return fmt.Errorf("rank %d sees %v", c.Rank(), recv)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgathervValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if err := c.Allgatherv(nil, nil, []int{1}, []int{0}); err == nil {
+			return errors.New("short counts should fail")
+		}
+		if err := c.Allgatherv(make([]byte, 3), make([]byte, 2), []int{1, 1}, []int{0, 1}); err == nil {
+			return errors.New("send/count mismatch should fail")
+		}
+		if err := c.Allgatherv(make([]byte, 1), make([]byte, 1), []int{1, 5}, []int{0, 1}); err == nil {
+			return errors.New("overflowing block should fail")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,223 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype identifies the element type of a reduction buffer.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Byte Datatype = iota
+	Int32
+	Int64
+	Uint64
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (dt Datatype) Size() int {
+	switch dt {
+	case Byte:
+		return 1
+	case Int32:
+		return 4
+	case Int64, Uint64, Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("mpi: unknown datatype %d", int(dt)))
+	}
+}
+
+// String returns the datatype name.
+func (dt Datatype) String() string {
+	switch dt {
+	case Byte:
+		return "byte"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Uint64:
+		return "uint64"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Datatype(%d)", int(dt))
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// String returns the operator name.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// reduceInto applies acc = op(acc, in) elementwise. Both buffers must hold
+// a whole number of dt elements and have equal length.
+func reduceInto(acc, in []byte, dt Datatype, op Op) error {
+	if len(acc) != len(in) {
+		return fmt.Errorf("mpi: reduce buffers differ in length (%d vs %d)", len(acc), len(in))
+	}
+	es := dt.Size()
+	if len(acc)%es != 0 {
+		return fmt.Errorf("mpi: reduce buffer of %d bytes is not a multiple of %s size %d", len(acc), dt, es)
+	}
+	n := len(acc) / es
+	switch dt {
+	case Byte:
+		for i := 0; i < n; i++ {
+			acc[i] = byte(combineInt(int64(acc[i]), int64(in[i]), op))
+		}
+	case Int32:
+		for i := 0; i < n; i++ {
+			a := int32(binary.LittleEndian.Uint32(acc[4*i:]))
+			b := int32(binary.LittleEndian.Uint32(in[4*i:]))
+			binary.LittleEndian.PutUint32(acc[4*i:], uint32(int32(combineInt(int64(a), int64(b), op))))
+		}
+	case Int64:
+		for i := 0; i < n; i++ {
+			a := int64(binary.LittleEndian.Uint64(acc[8*i:]))
+			b := int64(binary.LittleEndian.Uint64(in[8*i:]))
+			binary.LittleEndian.PutUint64(acc[8*i:], uint64(combineInt(a, b, op)))
+		}
+	case Uint64:
+		for i := 0; i < n; i++ {
+			a := binary.LittleEndian.Uint64(acc[8*i:])
+			b := binary.LittleEndian.Uint64(in[8*i:])
+			binary.LittleEndian.PutUint64(acc[8*i:], combineUint(a, b, op))
+		}
+	case Float64:
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[8*i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(in[8*i:]))
+			binary.LittleEndian.PutUint64(acc[8*i:], math.Float64bits(combineFloat(a, b, op)))
+		}
+	default:
+		return fmt.Errorf("mpi: reduce on unknown datatype %d", int(dt))
+	}
+	return nil
+}
+
+func combineInt(a, b int64, op Op) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+}
+
+func combineUint(a, b uint64, op Op) uint64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+}
+
+func combineFloat(a, b float64, op Op) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+}
+
+// EncodeFloat64s packs a float64 slice into a fresh byte buffer.
+func EncodeFloat64s(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a byte buffer written by EncodeFloat64s.
+func DecodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// EncodeUint64s packs a uint64 slice into a fresh byte buffer.
+func EncodeUint64s(v []uint64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out
+}
+
+// DecodeUint64s unpacks a byte buffer written by EncodeUint64s.
+func DecodeUint64s(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// EncodeInts packs an int slice as int64 little-endian.
+func EncodeInts(v []int) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(int64(x)))
+	}
+	return out
+}
+
+// DecodeInts unpacks a byte buffer written by EncodeInts.
+func DecodeInts(b []byte) []int {
+	out := make([]int, len(b)/8)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Failure-injection tests: the runtime must degrade into errors, never
+// into hangs, when ranks misbehave.
+
+func TestAbortWakesBlockedCollective(t *testing.T) {
+	w := newTestWorld(t, 4)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if c.Rank() == 3 {
+			return errors.New("injected failure before the barrier")
+		}
+		// The other ranks block in a barrier that can never complete;
+		// the abort must wake them.
+		err := c.Barrier()
+		if err == nil {
+			return errors.New("barrier completed without rank 3")
+		}
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("expected ErrAborted, got %v", err)
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "injected failure") {
+		t.Fatalf("the injected error should surface, got: %v", err)
+	}
+	if contains(err.Error(), "ErrAborted fallout") {
+		t.Fatalf("fallout should not be reported alongside the cause: %v", err)
+	}
+}
+
+func TestAbortWakesBlockedRecv(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("injected panic")
+		}
+		_, err := c.Recv(0, 0, nil)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("recv returned %v, want ErrAborted", err)
+		}
+		return err
+	})
+	if err == nil || !contains(err.Error(), "injected panic") {
+		t.Fatalf("panic should surface as the root cause, got: %v", err)
+	}
+}
+
+func TestAbortWakesBlockedProbe(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return errors.New("rank 0 gives up")
+		}
+		_, err := c.Probe(0, 7)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("probe returned %v, want ErrAborted", err)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected error")
+	}
+}
+
+func TestWatchdogCatchesTrueDeadlock(t *testing.T) {
+	w := newTestWorld(t, 2)
+	// Both ranks wait for a message that is never sent: only the
+	// watchdog can report it (goroutines are leaked, as documented).
+	err := w.RunWithTimeout(200*time.Millisecond, func(c *Comm) error {
+		_, err := c.Recv(1-c.Rank(), 0, nil)
+		return err
+	})
+	if err == nil || !contains(err.Error(), "deadlock") {
+		t.Fatalf("watchdog did not trigger: %v", err)
+	}
+}
+
+func TestMismatchedCollectiveAborts(t *testing.T) {
+	// One rank calls Bcast with an invalid root and returns the error;
+	// the others must not hang in their matching Bcast.
+	w := newTestWorld(t, 3)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Bcast(nil, 99) // invalid root: immediate error
+		}
+		err := c.Bcast(make([]byte, 8), 0)
+		// Rank 0 (the root) may even succeed (its sends complete);
+		// rank 2 blocks and must be woken by the abort.
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("unexpected bcast error: %v", err)
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "root") {
+		t.Fatalf("invalid-root error should surface: %v", err)
+	}
+}
+
+func TestErrorAfterCompletionDoesNotCorruptClocks(t *testing.T) {
+	// A rank failing after all communication completed must not disturb
+	// the other ranks' recorded state.
+	w := newTestWorld(t, 2)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			return errors.New("late failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the late failure")
+	}
+	if w.Proc(0).Clock() <= 0 {
+		t.Fatal("rank 0 clock lost")
+	}
+}

@@ -1,0 +1,519 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpimon/internal/netsim"
+	"mpimon/internal/pml"
+	"mpimon/internal/topology"
+)
+
+// testMachine: 2 nodes x 2 sockets x 2 cores, round numbers, no contention
+// by default so expected virtual times are exact.
+func testMachine() *netsim.Machine {
+	return &netsim.Machine{
+		Topo: topology.MustNew(2, 2, 2),
+		Links: []netsim.LinkParams{
+			{Latency: time.Microsecond, Bandwidth: 1e9},
+			{Latency: 300 * time.Nanosecond, Bandwidth: 2e9},
+			{Latency: 100 * time.Nanosecond, Bandwidth: 4e9},
+			{Latency: 50 * time.Nanosecond, Bandwidth: 8e9},
+		},
+		SendOverhead:   100 * time.Nanosecond,
+		RecvOverhead:   100 * time.Nanosecond,
+		EagerLimit:     4096,
+		Contention:     false,
+		FlopsPerSecond: 1e9,
+	}
+}
+
+func newTestWorld(t *testing.T, np int, opts ...Option) *World {
+	t.Helper()
+	w, err := NewWorld(testMachine(), np, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func run(t *testing.T, w *World, fn func(c *Comm) error) {
+	t.Helper()
+	if err := w.RunWithTimeout(30*time.Second, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(testMachine(), 0); err == nil {
+		t.Fatal("world of size 0 should fail")
+	}
+	if _, err := NewWorld(testMachine(), 9); err == nil {
+		t.Fatal("more ranks than cores should fail")
+	}
+	if _, err := NewWorld(testMachine(), 2, WithPlacement([]int{0})); err == nil {
+		t.Fatal("short placement should fail")
+	}
+	if _, err := NewWorld(testMachine(), 2, WithPlacement([]int{1, 1})); err == nil {
+		t.Fatal("duplicate placement should fail")
+	}
+	if _, err := NewWorld(testMachine(), 2, WithPlacement([]int{0, 99})); err == nil {
+		t.Fatal("out-of-range placement should fail")
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error { return nil })
+	if err := w.Run(func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "rank 1 panicked") {
+		t.Fatalf("panic not reported, got %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPingPong(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("hello")); err != nil {
+				return err
+			}
+			buf := make([]byte, 16)
+			st, err := c.Recv(1, 8, buf)
+			if err != nil {
+				return err
+			}
+			if string(buf[:st.Size]) != "world" || st.Source != 1 || st.Tag != 8 {
+				return fmt.Errorf("bad reply: %q %+v", buf[:st.Size], st)
+			}
+		} else {
+			buf := make([]byte, 16)
+			st, err := c.Recv(0, 7, buf)
+			if err != nil {
+				return err
+			}
+			if string(buf[:st.Size]) != "hello" {
+				return fmt.Errorf("got %q, want hello", buf[:st.Size])
+			}
+			return c.Send(0, 8, []byte("world"))
+		}
+		return nil
+	})
+}
+
+func TestSendBufferIsCopied(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := []byte{1, 2, 3}
+			if err := c.Send(1, 0, data); err != nil {
+				return err
+			}
+			data[0] = 99 // must not affect the in-flight message
+			return nil
+		}
+		buf := make([]byte, 3)
+		if _, err := c.Recv(0, 0, buf); err != nil {
+			return err
+		}
+		if buf[0] != 1 {
+			return fmt.Errorf("message aliased the sender's buffer: %v", buf)
+		}
+		return nil
+	})
+}
+
+func TestWildcards(t *testing.T) {
+	w := newTestWorld(t, 3)
+	run(t, w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 8)
+				st, err := c.Recv(AnySource, AnyTag, buf)
+				if err != nil {
+					return err
+				}
+				seen[st.Source] = true
+				if st.Tag != 10+st.Source {
+					return fmt.Errorf("tag %d from %d", st.Tag, st.Source)
+				}
+			}
+			if !seen[1] || !seen[2] {
+				return fmt.Errorf("did not hear from both senders: %v", seen)
+			}
+		default:
+			return c.Send(0, 10+c.Rank(), []byte{byte(c.Rank())})
+		}
+		return nil
+	})
+}
+
+func TestNonOvertakingSameSender(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		const k = 20
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := c.Send(1, 5, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			buf := make([]byte, 1)
+			if _, err := c.Recv(0, 5, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("message %d overtook: got %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTruncationError(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.RunWithTimeout(30*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 100))
+		}
+		_, err := c.Recv(0, 0, make([]byte, 10))
+		if err == nil {
+			return errors.New("truncation not reported")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("send to out-of-range rank should fail")
+		}
+		if err := c.Send(0, -2, nil); err == nil {
+			return errors.New("negative tag should fail")
+		}
+		if err := c.SendN(0, 0, -1); err == nil {
+			return errors.New("negative size should fail")
+		}
+		if _, err := c.Recv(9, 0, nil); err == nil {
+			return errors.New("recv from out-of-range rank should fail")
+		}
+		return nil
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	w := newTestWorld(t, 1)
+	run(t, w, func(c *Comm) error {
+		if err := c.Send(0, 3, []byte("me")); err != nil {
+			return err
+		}
+		buf := make([]byte, 2)
+		st, err := c.Recv(0, 3, buf)
+		if err != nil {
+			return err
+		}
+		if string(buf) != "me" || st.Size != 2 {
+			return fmt.Errorf("self message corrupted: %q", buf)
+		}
+		return nil
+	})
+}
+
+func TestVirtualTimeDeterministic(t *testing.T) {
+	// Inter-node eager message: receiver clock must be exactly
+	// o_s + size/bw + latency + o_r.
+	times := make([]time.Duration, 2)
+	for trial := 0; trial < 2; trial++ {
+		w := newTestWorld(t, 2, WithPlacement([]int{0, 4})) // different nodes
+		run(t, w, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, make([]byte, 1000))
+			}
+			_, err := c.Recv(0, 0, make([]byte, 1000))
+			return err
+		})
+		times[trial] = w.Proc(1).Clock()
+	}
+	want := 100*time.Nanosecond + 1000*time.Nanosecond + time.Microsecond + 100*time.Nanosecond
+	if times[0] != want {
+		t.Fatalf("receiver clock = %v, want %v", times[0], want)
+	}
+	if times[0] != times[1] {
+		t.Fatalf("virtual time not deterministic: %v vs %v", times[0], times[1])
+	}
+}
+
+func TestPlacementAffectsTime(t *testing.T) {
+	measure := func(placement []int) time.Duration {
+		w, err := NewWorld(testMachine(), 2, WithPlacement(placement))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, w, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, make([]byte, 100_000))
+			}
+			_, err := c.Recv(0, 0, make([]byte, 100_000))
+			return err
+		})
+		return w.Proc(1).Clock()
+	}
+	near := measure([]int{0, 1}) // same socket
+	far := measure([]int{0, 4})  // across nodes
+	if near >= far {
+		t.Fatalf("same-socket transfer (%v) should be faster than inter-node (%v)", near, far)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	w := newTestWorld(t, 1)
+	run(t, w, func(c *Comm) error {
+		c.Proc().Compute(3 * time.Millisecond)
+		c.Proc().ComputeFlops(1e6) // 1e6 flops at 1e9 flops/s = 1 ms
+		return nil
+	})
+	if got := w.Proc(0).Clock(); got != 4*time.Millisecond {
+		t.Fatalf("clock = %v, want 4ms", got)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	w := newTestWorld(t, 2, WithPlacement([]int{0, 4}))
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 0, make([]byte, 1_000_000)) // rendezvous size
+			if err != nil {
+				return err
+			}
+			before := c.Proc().Clock()
+			c.Proc().Compute(10 * time.Millisecond)
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			// The 1 ms injection fits inside the 10 ms compute, so
+			// Wait must not add more time.
+			if got := c.Proc().Clock(); got != before+10*time.Millisecond {
+				return fmt.Errorf("no overlap: clock %v, want %v", got, before+10*time.Millisecond)
+			}
+			return nil
+		}
+		req, err := c.Irecv(0, 0, make([]byte, 1_000_000))
+		if err != nil {
+			return err
+		}
+		_, err2 := req.Wait()
+		return err2
+	})
+}
+
+func TestWaitTwiceIsIdempotent(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 0, []byte{1})
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(0, 0, buf)
+		if err != nil {
+			return err
+		}
+		st1, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		st2, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st1 != st2 {
+			return fmt.Errorf("second Wait returned different status: %+v vs %+v", st1, st2)
+		}
+		return nil
+	})
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 9, make([]byte, 64))
+		}
+		st, err := c.Probe(0, 9)
+		if err != nil {
+			return err
+		}
+		if st.Size != 64 {
+			return fmt.Errorf("probed size %d, want 64", st.Size)
+		}
+		// Probe must not consume.
+		st2, ok, err := c.Iprobe(0, 9)
+		if err != nil || !ok {
+			return fmt.Errorf("Iprobe after Probe: ok=%v err=%v", ok, err)
+		}
+		if st2.Size != 64 {
+			return fmt.Errorf("Iprobe size %d, want 64", st2.Size)
+		}
+		if _, err := c.Recv(0, 9, make([]byte, 64)); err != nil {
+			return err
+		}
+		_, ok, err = c.Iprobe(0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return errors.New("Iprobe matched after the message was consumed")
+		}
+		return nil
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		other := 1 - c.Rank()
+		out := []byte{byte(c.Rank() + 10)}
+		in := make([]byte, 1)
+		if _, err := c.Sendrecv(other, 3, out, other, 3, in); err != nil {
+			return err
+		}
+		if in[0] != byte(other+10) {
+			return fmt.Errorf("rank %d received %d", c.Rank(), in[0])
+		}
+		return nil
+	})
+}
+
+func TestMPITimeAccounting(t *testing.T) {
+	w := newTestWorld(t, 2, WithPlacement([]int{0, 4}))
+	run(t, w, func(c *Comm) error {
+		p := c.Proc()
+		if c.Rank() == 0 {
+			p.Compute(5 * time.Millisecond) // not MPI time
+			return c.Send(1, 0, make([]byte, 10))
+		}
+		_, err := c.Recv(0, 0, make([]byte, 10))
+		return err
+	})
+	// Rank 1 spent its whole life inside Recv (it posted at t=0 and the
+	// sender only sent at 5 ms): MPITime == Clock.
+	p1 := w.Proc(1)
+	if p1.MPITime() != p1.Clock() {
+		t.Fatalf("rank 1 MPI time %v != clock %v", p1.MPITime(), p1.Clock())
+	}
+	// Rank 0's MPI time excludes its compute phase.
+	p0 := w.Proc(0)
+	if p0.MPITime() >= p0.Clock() {
+		t.Fatalf("rank 0 MPI time %v should exclude the 5ms compute (clock %v)", p0.MPITime(), p0.Clock())
+	}
+}
+
+func TestMonitoringRecordsSends(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 123)); err != nil {
+				return err
+			}
+			return c.Send(1, 0, make([]byte, 77))
+		}
+		if _, err := c.Recv(0, 0, nil); err != nil {
+			return err
+		}
+		_, err := c.Recv(0, 0, nil)
+		return err
+	})
+	counts := make([]uint64, 2)
+	bytes := make([]uint64, 2)
+	w.Proc(0).Monitor().Counts(pml.P2P, counts)
+	w.Proc(0).Monitor().Bytes(pml.P2P, bytes)
+	if counts[1] != 2 || bytes[1] != 200 {
+		t.Fatalf("monitored %d msgs / %d bytes to rank 1, want 2 / 200", counts[1], bytes[1])
+	}
+	// The receiver recorded nothing (sender-side monitoring).
+	w.Proc(1).Monitor().Counts(pml.P2P, counts)
+	if counts[0] != 0 {
+		t.Fatalf("receiver recorded %d sends", counts[0])
+	}
+}
+
+func TestMonitoringDisabledLevel(t *testing.T) {
+	w := newTestWorld(t, 2, WithMonitoringLevel(pml.Disabled))
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 50))
+		}
+		_, err := c.Recv(0, 0, nil)
+		return err
+	})
+	if got := w.Proc(0).Monitor().TotalBytes(pml.P2P); got != 0 {
+		t.Fatalf("disabled monitoring recorded %d bytes", got)
+	}
+}
+
+func TestSendNCarriesSizeOnly(t *testing.T) {
+	w := newTestWorld(t, 2, WithPlacement([]int{0, 4}))
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendN(1, 0, 1<<20)
+		}
+		st, err := c.Recv(0, 0, nil)
+		if err != nil {
+			return err
+		}
+		if st.Size != 1<<20 {
+			return fmt.Errorf("logical size %d, want %d", st.Size, 1<<20)
+		}
+		return nil
+	})
+	if got := w.Proc(0).Monitor().TotalBytes(pml.P2P); got != 1<<20 {
+		t.Fatalf("monitored %d bytes, want %d", got, 1<<20)
+	}
+	if got := w.Network().XmitData(0); got != 1<<20 {
+		t.Fatalf("NIC saw %d bytes, want %d", got, 1<<20)
+	}
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// message is one in-flight point-to-point message. src is the sender's rank
+// in the communicator identified by ctx; arrival is the virtual time at
+// which the last byte reaches the receiver. data may be nil for messages
+// with a logical size only (communication-skeleton workloads).
+type message struct {
+	src     int
+	tag     int
+	ctx     int
+	size    int
+	data    []byte
+	arrival int64
+}
+
+func (m *message) matches(ctx, src, tag int) bool {
+	return m.ctx == ctx &&
+		(src == AnySource || m.src == src) &&
+		(tag == AnyTag || m.tag == tag)
+}
+
+// msgQueue is a process's unordered-by-peer, FIFO-per-peer incoming queue.
+// Senders append from their own goroutines; the owning process blocks in
+// take until a match appears. An unbounded queue means Send never blocks on
+// the receiver, which keeps the virtual-time simulation deadlock-free for
+// programs that would deadlock only through rendezvous flow control.
+type msgQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []*message
+	// aborted points at the world's abort flag: when another rank fails,
+	// blocked receivers must wake up and bail out instead of hanging.
+	aborted *atomic.Bool
+}
+
+func (q *msgQueue) init(aborted *atomic.Bool) {
+	q.cond = sync.NewCond(&q.mu)
+	q.aborted = aborted
+}
+
+func (q *msgQueue) put(m *message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// take removes and returns the first queued message matching (ctx, src,
+// tag), blocking until one arrives. First-queued order preserves MPI's
+// non-overtaking guarantee between a fixed sender/receiver pair. It returns
+// nil if the world was aborted while waiting.
+func (q *msgQueue) take(ctx, src, tag int) *message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.items {
+			if m.matches(ctx, src, tag) {
+				q.items = append(q.items[:i], q.items[i+1:]...)
+				return m
+			}
+		}
+		if q.aborted.Load() {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// peek blocks until a matching message is queued and returns it without
+// removing it (Probe); nil if the world was aborted while waiting.
+func (q *msgQueue) peek(ctx, src, tag int) *message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for _, m := range q.items {
+			if m.matches(ctx, src, tag) {
+				return m
+			}
+		}
+		if q.aborted.Load() {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// tryTake is take without blocking; ok reports whether a match was found.
+func (q *msgQueue) tryTake(ctx, src, tag int) (*message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, m := range q.items {
+		if m.matches(ctx, src, tag) {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// pending returns the number of queued messages (diagnostics and tests).
+func (q *msgQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

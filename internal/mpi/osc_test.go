@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpimon/internal/pml"
+)
+
+func TestPutFence(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		local := make([]byte, np)
+		win, err := c.CreateWin(local)
+		if err != nil {
+			return err
+		}
+		// Everyone writes its rank into slot rank of everyone's window.
+		for dst := 0; dst < np; dst++ {
+			if err := win.Put(dst, c.Rank(), []byte{byte(c.Rank() + 1)}); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		for i := 0; i < np; i++ {
+			if local[i] != byte(i+1) {
+				return fmt.Errorf("rank %d window = %v", c.Rank(), local)
+			}
+		}
+		return win.Free()
+	})
+}
+
+func TestGetFence(t *testing.T) {
+	const np = 3
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		local := []byte{byte(10 * (c.Rank() + 1))}
+		win, err := c.CreateWin(local)
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 1)
+		src := (c.Rank() + 1) % np
+		if err := win.Get(src, 0, got); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if got[0] != byte(10*(src+1)) {
+			return fmt.Errorf("rank %d got %d from %d, want %d", c.Rank(), got[0], src, 10*(src+1))
+		}
+		return win.Free()
+	})
+}
+
+func TestAccumulateSum(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		local := EncodeInts([]int{0})
+		win, err := c.CreateWin(local)
+		if err != nil {
+			return err
+		}
+		// Everyone accumulates its rank+1 into rank 0's counter.
+		if err := win.Accumulate(0, 0, EncodeInts([]int{c.Rank() + 1}), Int64, OpSum); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if got := DecodeInts(local)[0]; got != 1+2+3+4 {
+				return fmt.Errorf("accumulated %d, want 10", got)
+			}
+		}
+		return win.Free()
+	})
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	const np = 2
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		local := make([]byte, 1)
+		win, err := c.CreateWin(local)
+		if err != nil {
+			return err
+		}
+		other := 1 - c.Rank()
+		for epoch := 1; epoch <= 3; epoch++ {
+			if err := win.Put(other, 0, []byte{byte(epoch * (c.Rank() + 1))}); err != nil {
+				return err
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+			if local[0] != byte(epoch*(other+1)) {
+				return fmt.Errorf("epoch %d rank %d window = %d", epoch, c.Rank(), local[0])
+			}
+		}
+		return win.Free()
+	})
+}
+
+func TestPutBoundsChecked(t *testing.T) {
+	const np = 2
+	w := newTestWorld(t, np)
+	err := w.Run(func(c *Comm) error {
+		local := make([]byte, 4)
+		win, err := c.CreateWin(local)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := win.Put(1, 3, []byte{1, 2}); err != nil { // overflows the window
+				return err
+			}
+		}
+		return win.Fence()
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds put should surface at the target's fence")
+	}
+}
+
+func TestFreedWindowRejectsOps(t *testing.T) {
+	const np = 2
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		win, err := c.CreateWin(make([]byte, 1))
+		if err != nil {
+			return err
+		}
+		if err := win.Free(); err != nil {
+			return err
+		}
+		if err := win.Put(0, 0, []byte{1}); err == nil {
+			return errors.New("put on freed window should fail")
+		}
+		if err := win.Fence(); err == nil {
+			return errors.New("fence on freed window should fail")
+		}
+		return nil
+	})
+}
+
+func TestOneSidedMonitoredAsOsc(t *testing.T) {
+	const np = 2
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		win, err := c.CreateWin(make([]byte, 8))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := win.Put(1, 0, make([]byte, 8)); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	oscBytes := w.Proc(0).Monitor().TotalBytes(pml.Osc)
+	if oscBytes != 8+dataHeader {
+		t.Fatalf("Osc class saw %d bytes, want %d (payload + header)", oscBytes, 8+dataHeader)
+	}
+	// P2P class must stay empty: fence sync is collective-internal.
+	if got := w.Proc(0).Monitor().TotalBytes(pml.P2P); got != 0 {
+		t.Fatalf("one-sided traffic leaked into P2P: %d bytes", got)
+	}
+}

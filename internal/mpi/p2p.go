@@ -1,0 +1,336 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpimon/internal/pml"
+)
+
+// Status describes a completed or probed receive.
+type Status struct {
+	// Source is the sender's rank in the communicator of the operation.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Size is the message payload size in bytes.
+	Size int
+}
+
+// Send transmits data to rank dst of the communicator with the given tag.
+// In this runtime Send never blocks waiting for the receiver (buffered
+// semantics); for large messages the virtual clock still advances by the
+// injection time, modelling a rendezvous-style sender stall.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	buf := append([]byte(nil), data...)
+	return c.send(dst, tag, buf, len(data), c.p.class())
+}
+
+// SendN transmits a message carrying only a logical payload size, with no
+// actual bytes. It prices, routes and monitors exactly like Send; it exists
+// so communication-skeleton workloads (the NAS CG skeleton) can replay the
+// real message sizes of a large run without allocating the data.
+func (c *Comm) SendN(dst, tag, size int) error {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	if size < 0 {
+		return fmt.Errorf("mpi: negative message size %d", size)
+	}
+	return c.send(dst, tag, nil, size, c.p.class())
+}
+
+// send is the common path under Send/SendN/collectives/one-sided. The
+// monitoring component records the message at the instant it is buffered to
+// be sent, before the transfer itself — the same interposition point as the
+// Open MPI pml monitoring component.
+func (c *Comm) send(dst, tag int, data []byte, size int, class pml.Class) error {
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: send tag %d must be non-negative", tag)
+	}
+	p := c.p
+	w := p.world
+	dstWorld := c.group[dst]
+	dstProc := w.procs[dstWorld]
+
+	p.clock += int64(w.mach.SendOverhead)
+	p.mon.Record(class, dstWorld, size, p.clock)
+	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
+	if senderFree > p.clock {
+		p.clock = senderFree
+	}
+	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival})
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) on this communicator
+// arrives, copies at most len(buf) bytes of it into buf, and returns its
+// Status. src may be AnySource and tag AnyTag. A nil buf discards the
+// payload. Receiving a message shorter than buf is allowed; longer than buf
+// is an error (truncation), as in MPI.
+func (c *Comm) Recv(src, tag int, buf []byte) (Status, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	return c.recv(src, tag, buf)
+}
+
+func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return Status{}, err
+		}
+	}
+	p := c.p
+	m := p.queue.take(c.ctx, src, tag)
+	if m == nil {
+		return Status{}, ErrAborted
+	}
+	if m.arrival > p.clock {
+		p.clock = m.arrival
+	}
+	p.clock += int64(p.world.mach.RecvOverhead)
+	st := Status{Source: m.src, Tag: m.tag, Size: m.size}
+	if buf != nil {
+		if m.size > len(buf) {
+			return st, fmt.Errorf("mpi: message of %d bytes truncated by %d-byte receive buffer", m.size, len(buf))
+		}
+		copy(buf, m.data)
+	}
+	return st, nil
+}
+
+// Probe blocks until a matching message is available and returns its
+// Status without consuming it. The clock advances to the message arrival.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return Status{}, err
+		}
+	}
+	p := c.p
+	m := p.queue.peek(c.ctx, src, tag)
+	if m == nil {
+		return Status{}, ErrAborted
+	}
+	if m.arrival > p.clock {
+		p.clock = m.arrival
+	}
+	return Status{Source: m.src, Tag: m.tag, Size: m.size}, nil
+}
+
+// Iprobe is the nonblocking Probe; ok reports whether a message matched.
+// The clock does not advance.
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return Status{}, false, err
+		}
+	}
+	// A nonblocking peek: reuse tryTake semantics without removal by
+	// peeking under the queue lock via tryTake+put would reorder; do a
+	// dedicated scan instead.
+	q := &c.p.queue
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, m := range q.items {
+		if m.matches(c.ctx, src, tag) {
+			return Status{Source: m.src, Tag: m.tag, Size: m.size}, true, nil
+		}
+	}
+	return Status{}, false, nil
+}
+
+// Sendrecv performs a combined send to dst and receive from src, as
+// MPI_Sendrecv. Because sends never block in this runtime, it is simply a
+// send followed by a receive.
+func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) (Status, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	buf := append([]byte(nil), sendData...)
+	if err := c.send(dst, sendTag, buf, len(sendData), c.p.class()); err != nil {
+		return Status{}, err
+	}
+	return c.recv(src, recvTag, recvBuf)
+}
+
+// SendrecvN is Sendrecv with logical sizes only (skeleton workloads).
+func (c *Comm) SendrecvN(dst, sendTag, sendSize, src, recvTag int) (Status, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	if err := c.send(dst, sendTag, nil, sendSize, c.p.class()); err != nil {
+		return Status{}, err
+	}
+	return c.recv(src, recvTag, nil)
+}
+
+// Request is a handle on a nonblocking operation; complete it with Wait.
+type Request struct {
+	c      *Comm
+	isSend bool
+	done   bool
+	// send completion
+	freeAt int64
+	// recv arguments
+	src, tag int
+	buf      []byte
+	st       Status
+	err      error
+}
+
+// Isend starts a nonblocking send. The sender is charged only the send
+// overhead immediately; Wait advances the clock to the injection completion
+// for rendezvous-sized messages, modelling communication/computation
+// overlap.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	buf := append([]byte(nil), data...)
+	return c.isend(dst, tag, buf, len(data))
+}
+
+// IsendN is Isend with a logical payload size only.
+func (c *Comm) IsendN(dst, tag, size int) (*Request, error) {
+	t0 := c.p.enterMPI()
+	defer c.p.leaveMPI(t0)
+	if size < 0 {
+		return nil, fmt.Errorf("mpi: negative message size %d", size)
+	}
+	return c.isend(dst, tag, nil, size)
+}
+
+func (c *Comm) isend(dst, tag int, data []byte, size int) (*Request, error) {
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: send tag %d must be non-negative", tag)
+	}
+	p := c.p
+	w := p.world
+	dstWorld := c.group[dst]
+	dstProc := w.procs[dstWorld]
+
+	p.clock += int64(w.mach.SendOverhead)
+	p.mon.Record(p.class(), dstWorld, size, p.clock)
+	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
+	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival})
+	return &Request{c: c, isSend: true, freeAt: senderFree}, nil
+}
+
+// Irecv starts a nonblocking receive into buf; the matching and the clock
+// update happen at Wait. Note the simplification relative to MPI: messages
+// match in Wait order, not Irecv-posting order, which is indistinguishable
+// for deterministic tag/source patterns.
+func (c *Comm) Irecv(src, tag int, buf []byte) (*Request, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	return &Request{c: c, isSend: false, src: src, tag: tag, buf: buf}, nil
+}
+
+// Wait completes the request, advancing the virtual clock accordingly.
+func (r *Request) Wait() (Status, error) {
+	if r.done {
+		return r.st, r.err
+	}
+	r.done = true
+	p := r.c.p
+	t0 := p.enterMPI()
+	defer p.leaveMPI(t0)
+	if r.isSend {
+		if r.freeAt > p.clock {
+			p.clock = r.freeAt
+		}
+		return Status{}, nil
+	}
+	r.st, r.err = r.c.recv(r.src, r.tag, r.buf)
+	return r.st, r.err
+}
+
+// WaitAll completes every request, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Test nonblockingly checks a request for completion (MPI_Test): ok
+// reports whether it completed; when ok, the status is valid and the
+// request is done. For sends, completion means the injection time has been
+// reached on the virtual clock; for receives, that a matching message is
+// queued (which is then consumed).
+func (r *Request) Test() (Status, bool, error) {
+	if r.done {
+		return r.st, true, r.err
+	}
+	p := r.c.p
+	if r.isSend {
+		if r.freeAt > p.clock {
+			return Status{}, false, nil
+		}
+		r.done = true
+		return Status{}, true, nil
+	}
+	m, ok := p.queue.tryTake(r.c.ctx, r.src, r.tag)
+	if !ok {
+		return Status{}, false, nil
+	}
+	r.done = true
+	if m.arrival > p.clock {
+		p.clock = m.arrival
+	}
+	p.clock += int64(p.world.mach.RecvOverhead)
+	r.st = Status{Source: m.src, Tag: m.tag, Size: m.size}
+	if r.buf != nil {
+		if m.size > len(r.buf) {
+			r.err = fmt.Errorf("mpi: message of %d bytes truncated by %d-byte receive buffer", m.size, len(r.buf))
+			return r.st, true, r.err
+		}
+		copy(r.buf, m.data)
+	}
+	return r.st, true, nil
+}
+
+// Waitany blocks until one of the requests completes and returns its index
+// and status (MPI_Waitany). Completed requests are skipped on subsequent
+// calls by passing the remaining ones.
+func Waitany(reqs ...*Request) (int, Status, error) {
+	if len(reqs) == 0 {
+		return -1, Status{}, fmt.Errorf("mpi: Waitany with no requests")
+	}
+	// Fast path: anything already completable without blocking.
+	for {
+		for i, r := range reqs {
+			if r == nil {
+				continue
+			}
+			if st, ok, err := r.Test(); ok {
+				return i, st, err
+			}
+		}
+		// Nothing ready: block on the first incomplete one. Blocking on
+		// a specific request is the standard progression strategy here
+		// because the virtual-time queue has no umbrella wait primitive.
+		for i, r := range reqs {
+			if r == nil || r.done {
+				continue
+			}
+			st, err := r.Wait()
+			return i, st, err
+		}
+		return -1, Status{}, fmt.Errorf("mpi: Waitany with only nil or completed requests")
+	}
+}

@@ -1,0 +1,99 @@
+package mpi
+
+import "fmt"
+
+// PersistentRequest is a reusable communication handle in the image of
+// MPI_Send_init/MPI_Recv_init: the arguments are bound once, then each
+// Start/Wait cycle performs one transfer. Iterative applications (halo
+// exchanges, CG-style solvers) use them to avoid re-validating arguments
+// every iteration.
+type PersistentRequest struct {
+	c      *Comm
+	isSend bool
+	peer   int
+	tag    int
+	buf    []byte
+	active *Request
+}
+
+// SendInit binds a persistent send of buf to (dst, tag). The buffer is
+// read at each Start, so the application may update it between iterations.
+func (c *Comm) SendInit(dst, tag int, buf []byte) (*PersistentRequest, error) {
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: send tag %d must be non-negative", tag)
+	}
+	return &PersistentRequest{c: c, isSend: true, peer: dst, tag: tag, buf: buf}, nil
+}
+
+// RecvInit binds a persistent receive into buf from (src, tag); src may be
+// AnySource and tag AnyTag.
+func (c *Comm) RecvInit(src, tag int, buf []byte) (*PersistentRequest, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	return &PersistentRequest{c: c, isSend: false, peer: src, tag: tag, buf: buf}, nil
+}
+
+// Start begins one transfer. Starting an already-active request is an
+// error (complete it with Wait first), as in MPI.
+func (r *PersistentRequest) Start() error {
+	if r.active != nil {
+		return fmt.Errorf("mpi: persistent request started while still active")
+	}
+	if r.isSend {
+		req, err := r.c.Isend(r.peer, r.tag, r.buf)
+		if err != nil {
+			return err
+		}
+		r.active = req
+		return nil
+	}
+	req, err := r.c.Irecv(r.peer, r.tag, r.buf)
+	if err != nil {
+		return err
+	}
+	r.active = req
+	return nil
+}
+
+// Wait completes the current transfer and re-arms the request for the next
+// Start.
+func (r *PersistentRequest) Wait() (Status, error) {
+	if r.active == nil {
+		return Status{}, fmt.Errorf("mpi: persistent request waited without a Start")
+	}
+	st, err := r.active.Wait()
+	r.active = nil
+	return st, err
+}
+
+// StartAll starts every request; on error the already-started ones remain
+// active and must still be waited on.
+func StartAll(reqs ...*PersistentRequest) error {
+	for _, r := range reqs {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitAllPersistent completes every active request, returning the first
+// error.
+func WaitAllPersistent(reqs ...*PersistentRequest) error {
+	var first error
+	for _, r := range reqs {
+		if r.active == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRequestTest(t *testing.T) {
+	w := newTestWorld(t, 2)
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Proc().Compute(time.Millisecond)
+			return c.Send(1, 0, []byte{42})
+		}
+		req, err := c.Irecv(0, 0, make([]byte, 1))
+		if err != nil {
+			return err
+		}
+		// The sender may or may not have run yet; either way Wait must
+		// deliver, and Test afterwards must keep reporting done.
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st.Size != 1 {
+			return fmt.Errorf("status %+v", st)
+		}
+		if _, ok, _ := req.Test(); !ok {
+			return errors.New("Test after completion should report done")
+		}
+		return nil
+	})
+}
+
+func TestRequestTestSend(t *testing.T) {
+	w := newTestWorld(t, 2, WithPlacement([]int{0, 4}))
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 0, make([]byte, 1<<20)) // rendezvous size
+			if err != nil {
+				return err
+			}
+			// Injection takes virtual time; immediately after Isend the
+			// clock has not reached freeAt.
+			if _, ok, _ := req.Test(); ok {
+				return errors.New("rendezvous send completed instantly")
+			}
+			c.Proc().Compute(10 * time.Millisecond)
+			if _, ok, _ := req.Test(); !ok {
+				return errors.New("send not complete after the injection window")
+			}
+			return nil
+		}
+		_, err := c.Recv(0, 0, make([]byte, 1<<20))
+		return err
+	})
+}
+
+func TestWaitany(t *testing.T) {
+	w := newTestWorld(t, 3)
+	run(t, w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			r1, err := c.Irecv(1, 1, make([]byte, 1))
+			if err != nil {
+				return err
+			}
+			r2, err := c.Irecv(2, 2, make([]byte, 1))
+			if err != nil {
+				return err
+			}
+			seen := map[int]bool{}
+			reqs := []*Request{r1, r2}
+			for len(seen) < 2 {
+				i, st, err := Waitany(reqs...)
+				if err != nil {
+					return err
+				}
+				if seen[i] {
+					return fmt.Errorf("Waitany returned index %d twice", i)
+				}
+				seen[i] = true
+				if st.Tag != i+1 {
+					return fmt.Errorf("request %d has tag %d", i, st.Tag)
+				}
+				reqs[i] = nil
+			}
+			if _, _, err := Waitany(); err == nil {
+				return errors.New("empty Waitany should fail")
+			}
+			return nil
+		case 1:
+			c.Proc().Compute(2 * time.Millisecond)
+			return c.Send(0, 1, []byte{1})
+		default:
+			return c.Send(0, 2, []byte{2})
+		}
+	})
+}

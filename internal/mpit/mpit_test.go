@@ -1,0 +1,95 @@
+package mpit
+
+import (
+	"testing"
+
+	"mpimon/internal/pml"
+)
+
+func TestLookup(t *testing.T) {
+	mon := pml.NewMonitor(8, pml.Distinct)
+	ti := New(mon)
+	for _, name := range VarNames() {
+		info, err := ti.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if info.Count != 8 {
+			t.Fatalf("%s count = %d, want 8", name, info.Count)
+		}
+		if info.Desc == "" {
+			t.Fatalf("%s has no description", name)
+		}
+	}
+	if _, err := ti.Lookup("nope"); err == nil {
+		t.Fatal("unknown pvar should fail lookup")
+	}
+}
+
+func TestReadThroughHandles(t *testing.T) {
+	mon := pml.NewMonitor(3, pml.Distinct)
+	ti := New(mon)
+	s := ti.SessionCreate()
+	h, err := s.AllocHandle(VarP2PBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Record(pml.P2P, 2, 42, 0)
+	out := make([]uint64, 3)
+	if err := h.Read(out); err != nil {
+		t.Fatal(err)
+	}
+	if out[2] != 42 {
+		t.Fatalf("pvar read %v, want 42 at index 2", out)
+	}
+	if err := h.Read(make([]uint64, 2)); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+}
+
+func TestFreedSessionRejectsReads(t *testing.T) {
+	mon := pml.NewMonitor(1, pml.Distinct)
+	ti := New(mon)
+	s := ti.SessionCreate()
+	h, err := s.AllocHandle(VarCollCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Free()
+	if err := h.Read(make([]uint64, 1)); err == nil {
+		t.Fatal("read through freed session should fail")
+	}
+	if _, err := s.AllocHandle(VarCollCount); err == nil {
+		t.Fatal("alloc on freed session should fail")
+	}
+}
+
+func TestControlVariable(t *testing.T) {
+	mon := pml.NewMonitor(1, pml.Disabled)
+	ti := New(mon)
+	if v, err := ti.Control(CvarEnable); err != nil || v != 0 {
+		t.Fatalf("Control = %d, %v; want 0, nil", v, err)
+	}
+	if err := ti.SetControl(CvarEnable, 2); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Level() != pml.Distinct {
+		t.Fatalf("level = %d after enable=2", mon.Level())
+	}
+	// Values above 2 clamp to Distinct, as with the mca parameter.
+	if err := ti.SetControl(CvarEnable, 9); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Level() != pml.Distinct {
+		t.Fatal("level should clamp to Distinct")
+	}
+	if err := ti.SetControl(CvarEnable, -1); err == nil {
+		t.Fatal("negative level should fail")
+	}
+	if err := ti.SetControl("bogus", 1); err == nil {
+		t.Fatal("unknown cvar should fail")
+	}
+	if _, err := ti.Control("bogus"); err == nil {
+		t.Fatal("unknown cvar read should fail")
+	}
+}

@@ -1,0 +1,286 @@
+// Package netsim computes virtual-time communication costs over a hardware
+// topology. It is the transport substrate under the MPI runtime: every
+// point-to-point message is priced with a LogGP-style model whose latency
+// and bandwidth depend on the topology distance between the two cores, and
+// inter-node transfers serialize on the sending node's NIC, which models the
+// congestion that makes process placement matter.
+//
+// The package also maintains per-node hardware transmit counters analogous
+// to /sys/class/infiniband/<dev>/counters/port_xmit_data, used by the
+// hardware-counter-versus-introspection experiment (paper Fig. 2 and 3).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpimon/internal/topology"
+)
+
+// LinkParams is the latency/bandwidth pair of one level of the machine.
+type LinkParams struct {
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// Bandwidth is in bytes per second.
+	Bandwidth float64
+}
+
+// Machine describes the performance model of a cluster: its topology plus
+// link parameters per shared level. Links[l] applies to a message whose
+// endpoints have their deepest common ancestor at depth l; Links[0] is the
+// inter-node (through the top switch) link, deeper levels are cheaper
+// (same node, same socket). A message to self uses the deepest level.
+type Machine struct {
+	Topo *topology.Topology
+	// Links has Topo.Depth()+1 entries, indexed by shared level 0..Depth().
+	Links []LinkParams
+	// SendOverhead (o_s) is CPU time charged to the sender per message.
+	SendOverhead time.Duration
+	// RecvOverhead (o_r) is CPU time charged to the receiver per message.
+	RecvOverhead time.Duration
+	// EagerLimit is the message size (bytes) up to which the sender does
+	// not wait for the transfer to drain (eager protocol). Larger
+	// messages hold the sender until injection completes (rendezvous).
+	EagerLimit int
+	// Contention enables NIC serialization: concurrent inter-node
+	// transfers from the same node queue on the node's NIC.
+	Contention bool
+	// FlopsPerSecond scales Proc.ComputeFlops; zero disables compute
+	// modelling (ComputeFlops panics).
+	FlopsPerSecond float64
+}
+
+// Validate checks internal consistency.
+func (m *Machine) Validate() error {
+	if m.Topo == nil {
+		return fmt.Errorf("netsim: machine has no topology")
+	}
+	if len(m.Links) != m.Topo.Depth()+1 {
+		return fmt.Errorf("netsim: need %d link levels, have %d", m.Topo.Depth()+1, len(m.Links))
+	}
+	for i, l := range m.Links {
+		if l.Bandwidth <= 0 {
+			return fmt.Errorf("netsim: level %d bandwidth must be positive", i)
+		}
+		if l.Latency < 0 {
+			return fmt.Errorf("netsim: level %d latency must be non-negative", i)
+		}
+	}
+	return nil
+}
+
+// PlaFRIM builds a machine modelled on the paper's experimental testbed: an
+// OmniPath 100 Gb/s cluster of dual-socket 12-core Haswell nodes. Latencies
+// and bandwidths are representative, not measured; what matters for the
+// reproduced results is their ordering across levels.
+func PlaFRIM(nodes int) *Machine {
+	topo := topology.MustNew(nodes, 2, 12)
+	return &Machine{
+		Topo: topo,
+		Links: []LinkParams{
+			{Latency: 1500 * time.Nanosecond, Bandwidth: 12.5e9}, // inter-node, 100 Gb/s
+			{Latency: 700 * time.Nanosecond, Bandwidth: 8e9},     // same node, cross socket
+			{Latency: 400 * time.Nanosecond, Bandwidth: 10e9},    // same socket
+			{Latency: 200 * time.Nanosecond, Bandwidth: 16e9},    // self
+		},
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}
+
+// MultiSwitch builds a two-tier cluster: switches top-level switches, each
+// with nodesPerSwitch dual-socket 12-core nodes. Cross-switch traffic pays
+// a higher latency and lower bandwidth than same-switch inter-node traffic
+// — the machine shape where TreeMatch's hierarchy awareness matters most.
+func MultiSwitch(switches, nodesPerSwitch int) *Machine {
+	topo, err := topology.NewWithNodeDepth(2, switches, nodesPerSwitch, 2, 12)
+	if err != nil {
+		panic(err)
+	}
+	return &Machine{
+		Topo: topo,
+		Links: []LinkParams{
+			{Latency: 3000 * time.Nanosecond, Bandwidth: 8e9},    // cross switch
+			{Latency: 1500 * time.Nanosecond, Bandwidth: 12.5e9}, // same switch, inter node
+			{Latency: 700 * time.Nanosecond, Bandwidth: 8e9},     // same node, cross socket
+			{Latency: 400 * time.Nanosecond, Bandwidth: 10e9},    // same socket
+			{Latency: 200 * time.Nanosecond, Bandwidth: 16e9},    // self
+		},
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}
+
+// IBPair builds the two-node InfiniBand EDR machine of the paper's Sec. 6.1
+// (Xeon 6140, 18 cores per socket).
+func IBPair() *Machine {
+	topo := topology.MustNew(2, 2, 18)
+	return &Machine{
+		Topo: topo,
+		Links: []LinkParams{
+			{Latency: 1200 * time.Nanosecond, Bandwidth: 12.1e9}, // EDR ~100 Gb/s
+			{Latency: 700 * time.Nanosecond, Bandwidth: 8e9},
+			{Latency: 400 * time.Nanosecond, Bandwidth: 10e9},
+			{Latency: 200 * time.Nanosecond, Bandwidth: 16e9},
+		},
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}
+
+// XmitEvent is one inter-node transmission seen by a node's NIC, stamped
+// with the virtual time at which the last byte left the card.
+type XmitEvent struct {
+	Node  int
+	When  int64 // virtual ns
+	Bytes int64
+}
+
+// Network holds the mutable transport state of one simulation run: NIC
+// queues and hardware counters. A Network may be used concurrently by all
+// rank goroutines.
+type Network struct {
+	mach *Machine
+	nics []nicState
+
+	logMu    sync.Mutex
+	eventLog []XmitEvent
+	logging  atomic.Bool
+}
+
+type nicState struct {
+	busyUntil atomic.Int64
+	xmitData  atomic.Int64 // bytes that left through the NIC
+	xmitPkts  atomic.Int64
+	_         [4]int64 // pad to limit false sharing between adjacent NICs
+}
+
+// NewNetwork builds the transport state for the machine.
+func NewNetwork(m *Machine) (*Network, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{mach: m, nics: make([]nicState, m.Topo.NumNodes())}, nil
+}
+
+// Machine returns the performance model this network was built from.
+func (n *Network) Machine() *Machine { return n.mach }
+
+// SetEventLogging toggles recording of per-transfer XmitEvents (used by the
+// hardware-counter experiments; off by default to keep the fast path lean).
+func (n *Network) SetEventLogging(on bool) { n.logging.Store(on) }
+
+// DrainEvents returns and clears the recorded transmit events.
+func (n *Network) DrainEvents() []XmitEvent {
+	n.logMu.Lock()
+	defer n.logMu.Unlock()
+	out := n.eventLog
+	n.eventLog = nil
+	return out
+}
+
+// XmitData returns the cumulative bytes transmitted by the NIC of the given
+// node, mirroring the port_xmit_data hardware counter.
+func (n *Network) XmitData(node int) int64 { return n.nics[node].xmitData.Load() }
+
+// XmitPackets returns the cumulative message count sent by the node's NIC.
+func (n *Network) XmitPackets(node int) int64 { return n.nics[node].xmitPkts.Load() }
+
+// Transfer prices a message of size bytes from core src to core dst, where
+// the sender's virtual clock reads now (already including the sender
+// overhead). It returns the time at which the sender may proceed and the
+// time at which the message arrives at the receiver (before the receiver
+// overhead). Hardware counters are updated for inter-node transfers.
+func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arrival int64) {
+	topo := n.mach.Topo
+	level := topo.SharedLevel(src, dst)
+	link := n.mach.Links[level]
+	xferNs := int64(float64(size) / link.Bandwidth * 1e9)
+
+	start := now
+	interNode := level < topo.NodeDepth()
+	if interNode {
+		node := topo.NodeOf(src)
+		nic := &n.nics[node]
+		if n.mach.Contention {
+			start = reserve(&nic.busyUntil, now, xferNs)
+		}
+		end := start + xferNs
+		nic.xmitData.Add(int64(size))
+		nic.xmitPkts.Add(1)
+		if n.logging.Load() {
+			n.logMu.Lock()
+			n.eventLog = append(n.eventLog, XmitEvent{Node: node, When: end, Bytes: int64(size)})
+			n.logMu.Unlock()
+		}
+	}
+	end := start + xferNs
+	arrival = end + int64(link.Latency)
+	if size <= n.mach.EagerLimit {
+		senderFree = now
+	} else {
+		senderFree = end
+	}
+	return senderFree, arrival
+}
+
+// reserve atomically claims [max(now,busy), max(now,busy)+dur) on the NIC
+// and returns the start of the claimed window.
+func reserve(busy *atomic.Int64, now, dur int64) int64 {
+	for {
+		b := busy.Load()
+		start := now
+		if b > start {
+			start = b
+		}
+		if busy.CompareAndSwap(b, start+dur) {
+			return start
+		}
+	}
+}
+
+// FlopTime converts a floating-point operation count into virtual compute
+// time using the machine's flop rate.
+func (m *Machine) FlopTime(flops float64) time.Duration {
+	if m.FlopsPerSecond <= 0 {
+		panic("netsim: machine has no FlopsPerSecond; cannot model compute")
+	}
+	return time.Duration(flops / m.FlopsPerSecond * 1e9)
+}
+
+// Generic builds a plausible machine model for an arbitrary topology:
+// latency doubles and bandwidth drops at each level away from the leaves,
+// anchored at 200 ns / 16 GB/s for a core talking to itself. Use the named
+// presets when modelling the paper's testbeds; Generic serves custom
+// topology specs.
+func Generic(topo *topology.Topology) *Machine {
+	depth := topo.Depth()
+	links := make([]LinkParams, depth+1)
+	lat := 200 * time.Nanosecond
+	bw := 16e9
+	for l := depth; l >= 0; l-- {
+		links[l] = LinkParams{Latency: lat, Bandwidth: bw}
+		lat *= 2
+		bw /= 1.4
+	}
+	return &Machine{
+		Topo:           topo,
+		Links:          links,
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}

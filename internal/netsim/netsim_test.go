@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mpimon/internal/topology"
+)
+
+// testMachine has round numbers so expected times are exact: 1 us
+// inter-node latency, 1 GB/s everywhere, 100 ns overheads.
+func testMachine() *Machine {
+	return &Machine{
+		Topo: topology.MustNew(2, 2), // 2 nodes of 2 cores
+		Links: []LinkParams{
+			{Latency: time.Microsecond, Bandwidth: 1e9},
+			{Latency: 100 * time.Nanosecond, Bandwidth: 1e9},
+			{Latency: 10 * time.Nanosecond, Bandwidth: 1e9},
+		},
+		SendOverhead: 100 * time.Nanosecond,
+		RecvOverhead: 100 * time.Nanosecond,
+		EagerLimit:   1024,
+		Contention:   true,
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	m := testMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testMachine()
+	bad.Links = bad.Links[:1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short Links should not validate")
+	}
+	bad2 := testMachine()
+	bad2.Links[0].Bandwidth = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero bandwidth should not validate")
+	}
+	bad3 := testMachine()
+	bad3.Topo = nil
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("nil topology should not validate")
+	}
+}
+
+func TestTransferIntraNode(t *testing.T) {
+	net, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores 0 and 1 share node 0: level 1, 100 ns latency.
+	free, arrival := net.Transfer(0, 1, 1000, 5000)
+	// Transfer time = 1000 B / 1e9 B/s = 1000 ns; eager (<=1024) so the
+	// sender does not wait.
+	if free != 5000 {
+		t.Fatalf("senderFree = %d, want 5000 (eager)", free)
+	}
+	if want := int64(5000 + 1000 + 100); arrival != want {
+		t.Fatalf("arrival = %d, want %d", arrival, want)
+	}
+	// No NIC traffic for intra-node.
+	if net.XmitData(0) != 0 {
+		t.Fatalf("intra-node transfer counted on NIC: %d bytes", net.XmitData(0))
+	}
+}
+
+func TestTransferInterNodeCountsOnNIC(t *testing.T) {
+	net, _ := NewNetwork(testMachine())
+	_, arrival := net.Transfer(0, 2, 500, 0)
+	if want := int64(500 + 1000); arrival != want {
+		t.Fatalf("arrival = %d, want %d", arrival, want)
+	}
+	if got := net.XmitData(0); got != 500 {
+		t.Fatalf("XmitData(0) = %d, want 500", got)
+	}
+	if got := net.XmitPackets(0); got != 1 {
+		t.Fatalf("XmitPackets(0) = %d, want 1", got)
+	}
+	if got := net.XmitData(1); got != 0 {
+		t.Fatalf("XmitData(1) = %d, want 0 (receiver NIC does not transmit)", got)
+	}
+}
+
+func TestRendezvousHoldsSender(t *testing.T) {
+	net, _ := NewNetwork(testMachine())
+	size := 10_000 // above the 1024 eager limit
+	free, arrival := net.Transfer(0, 2, size, 0)
+	if want := int64(10_000); free != want {
+		t.Fatalf("senderFree = %d, want %d (rendezvous waits for injection)", free, want)
+	}
+	if want := int64(10_000 + 1000); arrival != want {
+		t.Fatalf("arrival = %d, want %d", arrival, want)
+	}
+}
+
+func TestNICContentionSerializes(t *testing.T) {
+	net, _ := NewNetwork(testMachine())
+	// Two large back-to-back transfers from the same node at the same
+	// virtual instant must queue on the NIC.
+	_, a1 := net.Transfer(0, 2, 100_000, 0)
+	_, a2 := net.Transfer(1, 2, 100_000, 0)
+	if a1 == a2 {
+		t.Fatal("concurrent transfers from one node did not serialize on the NIC")
+	}
+	first, second := a1, a2
+	if first > second {
+		first, second = second, first
+	}
+	if want := int64(100_000 + 1000); first != want {
+		t.Fatalf("first arrival = %d, want %d", first, want)
+	}
+	if want := int64(200_000 + 1000); second != want {
+		t.Fatalf("second arrival = %d, want %d (queued behind the first)", second, want)
+	}
+}
+
+func TestNoContentionOption(t *testing.T) {
+	m := testMachine()
+	m.Contention = false
+	net, _ := NewNetwork(m)
+	_, a1 := net.Transfer(0, 2, 100_000, 0)
+	_, a2 := net.Transfer(1, 2, 100_000, 0)
+	if a1 != a2 {
+		t.Fatalf("without contention both transfers should arrive together: %d vs %d", a1, a2)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	net, _ := NewNetwork(testMachine())
+	net.Transfer(0, 2, 100, 0) // not logged yet
+	net.SetEventLogging(true)
+	net.Transfer(0, 2, 200, 0)
+	net.Transfer(2, 0, 300, 0)
+	net.SetEventLogging(false)
+	net.Transfer(0, 2, 400, 0)
+	evs := net.DrainEvents()
+	if len(evs) != 2 {
+		t.Fatalf("logged %d events, want 2", len(evs))
+	}
+	if evs[0].Bytes != 200 || evs[0].Node != 0 {
+		t.Fatalf("event 0 = %+v, want 200 bytes from node 0", evs[0])
+	}
+	if evs[1].Bytes != 300 || evs[1].Node != 1 {
+		t.Fatalf("event 1 = %+v, want 300 bytes from node 1", evs[1])
+	}
+	if len(net.DrainEvents()) != 0 {
+		t.Fatal("DrainEvents did not clear the log")
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	net, _ := NewNetwork(testMachine())
+	free, arrival := net.Transfer(0, 2, 0, 42)
+	if free != 42 {
+		t.Fatalf("senderFree = %d, want 42", free)
+	}
+	if want := int64(42 + 1000); arrival != want {
+		t.Fatalf("arrival = %d, want %d (latency only)", arrival, want)
+	}
+}
+
+func TestFlopTime(t *testing.T) {
+	m := testMachine()
+	m.FlopsPerSecond = 1e9
+	if got := m.FlopTime(2e9); got != 2*time.Second {
+		t.Fatalf("FlopTime(2e9) = %v, want 2s", got)
+	}
+	m.FlopsPerSecond = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlopTime without a rate should panic")
+		}
+	}()
+	m.FlopTime(1)
+}
+
+func TestPresets(t *testing.T) {
+	p := PlaFRIM(4)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("PlaFRIM preset invalid: %v", err)
+	}
+	if p.Topo.Leaves() != 96 {
+		t.Fatalf("PlaFRIM(4) has %d cores, want 96", p.Topo.Leaves())
+	}
+	ib := IBPair()
+	if err := ib.Validate(); err != nil {
+		t.Fatalf("IBPair preset invalid: %v", err)
+	}
+	if ib.Topo.NumNodes() != 2 {
+		t.Fatalf("IBPair has %d nodes, want 2", ib.Topo.NumNodes())
+	}
+	// Inter-node must be the slowest level in both presets.
+	for _, m := range []*Machine{p, ib} {
+		if m.Links[0].Latency <= m.Links[1].Latency {
+			t.Error("inter-node latency should exceed intra-node latency")
+		}
+	}
+}
+
+func TestMultiSwitchPreset(t *testing.T) {
+	m := MultiSwitch(2, 4) // 2 switches x 4 nodes x 24 cores
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topo.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", m.Topo.NumNodes())
+	}
+	net, err := NewNetwork(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-switch inter-node (core 0 -> core 24) is faster than
+	// cross-switch (core 0 -> core 96).
+	_, sameSwitch := net.Transfer(0, 24, 100_000, 0)
+	_, crossSwitch := net.Transfer(0, 96, 100_000, 1<<40) // far future: no NIC queueing effect
+	crossSwitch -= 1 << 40
+	if sameSwitch >= crossSwitch {
+		t.Fatalf("same-switch (%d) should beat cross-switch (%d)", sameSwitch, crossSwitch)
+	}
+	// Both still count as inter-node on the sender's NIC.
+	if got := net.XmitData(0); got != 200_000 {
+		t.Fatalf("NIC bytes = %d, want 200000", got)
+	}
+	// Intra-node transfer on the deep tree bypasses the NIC.
+	net.Transfer(0, 1, 500, 0)
+	if got := net.XmitData(0); got != 200_000 {
+		t.Fatal("intra-node transfer hit the NIC on the multi-switch machine")
+	}
+}
+
+func TestGenericMachine(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		topology.MustNew(4),
+		topology.MustNew(2, 2, 2, 2),
+		topology.MustNew(3, 2, 12),
+	} {
+		m := Generic(topo)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Generic(%v): %v", topo, err)
+		}
+		// Levels get strictly slower toward the root.
+		for l := 1; l <= topo.Depth(); l++ {
+			if m.Links[l-1].Latency <= m.Links[l].Latency {
+				t.Fatalf("level %d latency not above level %d", l-1, l)
+			}
+			if m.Links[l-1].Bandwidth >= m.Links[l].Bandwidth {
+				t.Fatalf("level %d bandwidth not below level %d", l-1, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package pml is the low-level message monitoring component of the runtime,
+// mirroring the pml_monitoring component that prior work (Bosilca et al.,
+// Euro-Par 2017) added to Open MPI's point-to-point management layer. It
+// hangs below the MPI API, at the point where every message — including the
+// point-to-point messages a collective decomposes into — is handed to the
+// transport, and counts messages and bytes per destination rank and per
+// communication class.
+//
+// The introspection library (package monitoring) never reads these counters
+// directly; it goes through the MPI_T emulation in package mpit, preserving
+// the paper's layering.
+package pml
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Class tells which kind of MPI operation produced a message. Collective
+// operations are observed after decomposition: a broadcast of one MB to
+// eight ranks shows up here as the individual tree messages of class Coll,
+// not as one API-level event — the central feature of the paper.
+type Class int
+
+const (
+	// P2P is a user-issued point-to-point message.
+	P2P Class = iota
+	// Coll is a point-to-point message issued internally by a collective
+	// operation's decomposition.
+	Coll
+	// Osc is a one-sided (RMA) data transfer.
+	Osc
+
+	// NumClasses is the number of communication classes.
+	NumClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case P2P:
+		return "p2p"
+	case Coll:
+		return "coll"
+	case Osc:
+		return "osc"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Level is the monitoring activation level, mirroring the
+// --mca pml_monitoring_enable values of the paper.
+type Level int32
+
+const (
+	// Disabled records nothing.
+	Disabled Level = 0
+	// Aggregate records counts and sizes without distinguishing
+	// library-issued (internal) from user-issued (external) messages.
+	Aggregate Level = 1
+	// Distinct additionally distinguishes message classes, so internal
+	// collective traffic can be told apart from user point-to-point.
+	Distinct Level = 2
+)
+
+// Recorder observes individual monitored messages (destination world rank,
+// payload bytes, virtual timestamp in ns). It is used by the
+// hardware-counter comparison experiment; the hot path skips it when nil.
+type Recorder func(dst int, bytes int, when int64)
+
+// Monitor holds the per-process counters. One Monitor belongs to one MPI
+// process; counters are written on the sender side only, at the moment the
+// message is buffered for transmission. All methods are safe for concurrent
+// use.
+type Monitor struct {
+	n        int
+	level    atomic.Int32
+	suppress atomic.Int32
+	recorder atomic.Pointer[Recorder]
+
+	// counts[class][dst] and bytes[class][dst], flat to keep allocation
+	// count low; accessed with atomics.
+	counts []uint64
+	bytes  []uint64
+}
+
+// NewMonitor builds a monitor for a world of n ranks at the given level.
+func NewMonitor(n int, level Level) *Monitor {
+	m := &Monitor{
+		n:      n,
+		counts: make([]uint64, int(NumClasses)*n),
+		bytes:  make([]uint64, int(NumClasses)*n),
+	}
+	m.level.Store(int32(level))
+	return m
+}
+
+// Size returns the number of destination ranks tracked.
+func (m *Monitor) Size() int { return m.n }
+
+// Level returns the current activation level.
+func (m *Monitor) Level() Level { return Level(m.level.Load()) }
+
+// SetLevel changes the activation level at run time.
+func (m *Monitor) SetLevel(l Level) { m.level.Store(int32(l)) }
+
+// Suppress temporarily pauses recording while the introspection library
+// performs its own collective operations (gathering monitored data must not
+// pollute the data, cf. the paper's Sec. 4.1). Calls nest.
+func (m *Monitor) Suppress() { m.suppress.Add(1) }
+
+// Unsuppress reverses one Suppress call.
+func (m *Monitor) Unsuppress() {
+	if m.suppress.Add(-1) < 0 {
+		panic("pml: Unsuppress without matching Suppress")
+	}
+}
+
+// SetRecorder installs (or, with nil, removes) a per-message observer.
+func (m *Monitor) SetRecorder(r Recorder) {
+	if r == nil {
+		m.recorder.Store(nil)
+		return
+	}
+	m.recorder.Store(&r)
+}
+
+// Record counts one outgoing message of the given class to the destination
+// world rank. when is the sender's virtual clock (ns) at buffering time.
+// At level Aggregate the class distinction is dropped (everything counts as
+// P2P), mirroring pml_monitoring_enable=1's "no distinction between user
+// issued and library issued messages".
+func (m *Monitor) Record(class Class, dst int, size int, when int64) {
+	switch Level(m.level.Load()) {
+	case Disabled:
+		return
+	case Aggregate:
+		class = P2P
+	}
+	if m.suppress.Load() > 0 {
+		return
+	}
+	i := int(class)*m.n + dst
+	atomic.AddUint64(&m.counts[i], 1)
+	atomic.AddUint64(&m.bytes[i], uint64(size))
+	if r := m.recorder.Load(); r != nil {
+		(*r)(dst, size, when)
+	}
+}
+
+// Counts copies the per-destination message counts of one class into out,
+// which must have length Size().
+func (m *Monitor) Counts(class Class, out []uint64) {
+	m.copyRow(m.counts, class, out)
+}
+
+// Bytes copies the per-destination byte counts of one class into out.
+func (m *Monitor) Bytes(class Class, out []uint64) {
+	m.copyRow(m.bytes, class, out)
+}
+
+func (m *Monitor) copyRow(row []uint64, class Class, out []uint64) {
+	if len(out) != m.n {
+		panic(fmt.Sprintf("pml: output slice has length %d, want %d", len(out), m.n))
+	}
+	base := int(class) * m.n
+	for j := 0; j < m.n; j++ {
+		out[j] = atomic.LoadUint64(&row[base+j])
+	}
+}
+
+// TotalBytes returns the total bytes recorded for one class.
+func (m *Monitor) TotalBytes(class Class) uint64 {
+	var s uint64
+	base := int(class) * m.n
+	for j := 0; j < m.n; j++ {
+		s += atomic.LoadUint64(&m.bytes[base+j])
+	}
+	return s
+}
+
+// Reset zeroes every counter.
+func (m *Monitor) Reset() {
+	for i := range m.counts {
+		atomic.StoreUint64(&m.counts[i], 0)
+		atomic.StoreUint64(&m.bytes[i], 0)
+	}
+}

@@ -1,0 +1,148 @@
+package pml
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	m := NewMonitor(4, Distinct)
+	m.Record(P2P, 1, 100, 0)
+	m.Record(P2P, 1, 50, 0)
+	m.Record(Coll, 2, 8, 0)
+	m.Record(Osc, 3, 0, 0) // zero-length still counts
+
+	counts := make([]uint64, 4)
+	bytes := make([]uint64, 4)
+	m.Counts(P2P, counts)
+	m.Bytes(P2P, bytes)
+	if counts[1] != 2 || bytes[1] != 150 {
+		t.Fatalf("p2p to 1: %d msgs / %d bytes, want 2/150", counts[1], bytes[1])
+	}
+	m.Counts(Coll, counts)
+	if counts[2] != 1 {
+		t.Fatalf("coll to 2: %d msgs, want 1", counts[2])
+	}
+	m.Counts(Osc, counts)
+	m.Bytes(Osc, bytes)
+	if counts[3] != 1 || bytes[3] != 0 {
+		t.Fatalf("osc to 3: %d msgs / %d bytes, want 1/0", counts[3], bytes[3])
+	}
+}
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	m := NewMonitor(2, Disabled)
+	m.Record(P2P, 0, 10, 0)
+	if m.TotalBytes(P2P) != 0 {
+		t.Fatal("disabled monitor recorded")
+	}
+	m.SetLevel(Distinct)
+	m.Record(P2P, 0, 10, 0)
+	if m.TotalBytes(P2P) != 10 {
+		t.Fatal("re-enabled monitor did not record")
+	}
+}
+
+func TestSuppressNests(t *testing.T) {
+	m := NewMonitor(2, Distinct)
+	m.Suppress()
+	m.Suppress()
+	m.Record(P2P, 0, 1, 0)
+	m.Unsuppress()
+	m.Record(P2P, 0, 1, 0)
+	m.Unsuppress()
+	m.Record(P2P, 0, 1, 0)
+	if got := m.TotalBytes(P2P); got != 1 {
+		t.Fatalf("recorded %d bytes, want 1 (only after full unsuppress)", got)
+	}
+}
+
+func TestUnsuppressUnderflowPanics(t *testing.T) {
+	m := NewMonitor(1, Distinct)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unsuppress without Suppress should panic")
+		}
+	}()
+	m.Unsuppress()
+}
+
+func TestRecorderHook(t *testing.T) {
+	m := NewMonitor(2, Distinct)
+	var got []int
+	m.SetRecorder(func(dst, bytes int, when int64) {
+		got = append(got, bytes)
+	})
+	m.Record(P2P, 1, 5, 0)
+	m.Record(P2P, 1, 7, 0)
+	m.SetRecorder(nil)
+	m.Record(P2P, 1, 9, 0)
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("recorder saw %v, want [5 7]", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMonitor(2, Distinct)
+	m.Record(P2P, 1, 5, 0)
+	m.Reset()
+	if m.TotalBytes(P2P) != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	m := NewMonitor(2, Distinct)
+	var wg sync.WaitGroup
+	const g, per = 8, 1000
+	wg.Add(g)
+	for i := 0; i < g; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.Record(P2P, 1, 1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	counts := make([]uint64, 2)
+	m.Counts(P2P, counts)
+	if counts[1] != g*per {
+		t.Fatalf("concurrent records lost: %d, want %d", counts[1], g*per)
+	}
+}
+
+func TestCopyRowLengthPanics(t *testing.T) {
+	m := NewMonitor(3, Distinct)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong output length should panic")
+		}
+	}()
+	m.Counts(P2P, make([]uint64, 2))
+}
+
+func TestClassString(t *testing.T) {
+	if P2P.String() != "p2p" || Coll.String() != "coll" || Osc.String() != "osc" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestAggregateLevelFoldsClasses(t *testing.T) {
+	m := NewMonitor(2, Aggregate)
+	m.Record(Coll, 1, 10, 0)
+	m.Record(Osc, 1, 5, 0)
+	m.Record(P2P, 1, 1, 0)
+	if got := m.TotalBytes(P2P); got != 16 {
+		t.Fatalf("aggregate level: P2P class holds %d bytes, want 16 (all classes folded)", got)
+	}
+	if m.TotalBytes(Coll) != 0 || m.TotalBytes(Osc) != 0 {
+		t.Fatal("aggregate level must not populate per-class counters")
+	}
+	// Back to Distinct: classes separate again.
+	m.SetLevel(Distinct)
+	m.Record(Coll, 1, 7, 0)
+	if m.TotalBytes(Coll) != 7 {
+		t.Fatal("distinct level lost the class")
+	}
+}

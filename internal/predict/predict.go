@@ -1,0 +1,117 @@
+// Package predict implements the network-utilization prediction use case
+// the paper's discussion cites (Tseng et al., Euro-Par 2019, "Towards
+// Portable Online Prediction of Network Utilization using MPI-level
+// Monitoring"): sample the introspection monitoring library periodically
+// (reset after each read), feed the per-period byte counts to an online
+// predictor, and ask when the network is under-utilized — e.g. to schedule
+// checkpoint traffic into the idle windows.
+//
+// The predictor combines an exponentially weighted moving average with a
+// least-squares trend over a sliding window, which is the portable,
+// model-free approach of the cited work.
+package predict
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sample is one observation: bytes sent during the period ending at T.
+type Sample struct {
+	T     time.Duration
+	Bytes float64
+}
+
+// Predictor is an online network-utilization estimator. The zero value is
+// not usable; construct with New. Not safe for concurrent use (one
+// predictor per sampling thread, as in the cited deployment).
+type Predictor struct {
+	alpha   float64
+	window  []Sample
+	maxWin  int
+	ewma    float64
+	started bool
+}
+
+// New builds a predictor smoothing with the given EWMA factor
+// (0 < alpha <= 1; higher reacts faster) over a sliding window of winLen
+// samples used for trend extrapolation.
+func New(alpha float64, winLen int) (*Predictor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("predict: alpha %v outside (0,1]", alpha)
+	}
+	if winLen < 2 {
+		return nil, fmt.Errorf("predict: window of %d samples is too short", winLen)
+	}
+	return &Predictor{alpha: alpha, maxWin: winLen}, nil
+}
+
+// Observe feeds one sample; samples must arrive in time order.
+func (p *Predictor) Observe(t time.Duration, bytes float64) error {
+	if n := len(p.window); n > 0 && t <= p.window[n-1].T {
+		return fmt.Errorf("predict: sample at %v is not after %v", t, p.window[n-1].T)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("predict: negative byte count %v", bytes)
+	}
+	if !p.started {
+		p.ewma = bytes
+		p.started = true
+	} else {
+		p.ewma = p.alpha*bytes + (1-p.alpha)*p.ewma
+	}
+	p.window = append(p.window, Sample{T: t, Bytes: bytes})
+	if len(p.window) > p.maxWin {
+		p.window = p.window[len(p.window)-p.maxWin:]
+	}
+	return nil
+}
+
+// Samples returns how many observations are in the sliding window.
+func (p *Predictor) Samples() int { return len(p.window) }
+
+// Level returns the smoothed utilization (bytes per period).
+func (p *Predictor) Level() float64 { return p.ewma }
+
+// Forecast extrapolates the utilization dt ahead of the last sample using
+// the window trend anchored at the EWMA level; it never returns a negative
+// value. With fewer than two samples it returns the level.
+func (p *Predictor) Forecast(dt time.Duration) float64 {
+	n := len(p.window)
+	if n < 2 {
+		return p.ewma
+	}
+	// Least squares over the window.
+	var st, sb, stt, stb float64
+	t0 := float64(p.window[0].T)
+	for _, s := range p.window {
+		t := float64(s.T) - t0
+		st += t
+		sb += s.Bytes
+		stt += t * t
+		stb += t * s.Bytes
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	var slope float64
+	if den != 0 {
+		slope = (fn*stb - st*sb) / den
+	}
+	ahead := float64(p.window[n-1].T-p.window[0].T) + float64(dt)
+	meanT := st / fn
+	meanB := sb / fn
+	f := meanB + slope*(ahead-meanT)
+	// Blend with the EWMA level to damp over-extrapolation.
+	f = 0.5*f + 0.5*p.ewma
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Underutilized reports whether the forecast dt ahead falls below
+// threshold bytes per period — the "fetch the checkpoint now" signal of
+// the cited use case.
+func (p *Predictor) Underutilized(dt time.Duration, threshold float64) bool {
+	return p.Forecast(dt) < threshold
+}

@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Fatal("alpha 0 should fail")
+	}
+	if _, err := New(1.5, 8); err == nil {
+		t.Fatal("alpha > 1 should fail")
+	}
+	if _, err := New(0.5, 1); err == nil {
+		t.Fatal("window of 1 should fail")
+	}
+}
+
+func TestObserveOrdering(t *testing.T) {
+	p, _ := New(0.5, 4)
+	if err := p.Observe(ms(10), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(ms(10), 100); err == nil {
+		t.Fatal("non-increasing time should fail")
+	}
+	if err := p.Observe(ms(20), -1); err == nil {
+		t.Fatal("negative bytes should fail")
+	}
+}
+
+func TestLevelTracksConstantLoad(t *testing.T) {
+	p, _ := New(0.3, 8)
+	for i := 1; i <= 20; i++ {
+		if err := p.Observe(ms(10*i), 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Level() != 500 {
+		t.Fatalf("level %v, want 500 for constant load", p.Level())
+	}
+	if f := p.Forecast(ms(10)); f != 500 {
+		t.Fatalf("forecast %v, want 500 for constant load", f)
+	}
+}
+
+func TestForecastFollowsTrend(t *testing.T) {
+	up, _ := New(0.5, 10)
+	down, _ := New(0.5, 10)
+	for i := 1; i <= 10; i++ {
+		if err := up.Observe(ms(10*i), float64(100*i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := down.Observe(ms(10*i), float64(100*(11-i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up.Forecast(ms(20)) <= down.Forecast(ms(20)) {
+		t.Fatalf("rising load forecast (%v) should exceed falling (%v)",
+			up.Forecast(ms(20)), down.Forecast(ms(20)))
+	}
+	if down.Forecast(ms(50)) >= down.Level()+1 {
+		t.Fatalf("falling forecast %v should not exceed the level %v", down.Forecast(ms(50)), down.Level())
+	}
+}
+
+func TestForecastNeverNegative(t *testing.T) {
+	p, _ := New(0.9, 4)
+	// Steep decline.
+	for i, b := range []float64{1000, 100, 10, 1} {
+		if err := p.Observe(ms(10*(i+1)), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := p.Forecast(ms(500)); f < 0 {
+		t.Fatalf("forecast went negative: %v", f)
+	}
+}
+
+func TestUnderutilized(t *testing.T) {
+	p, _ := New(0.5, 6)
+	for i := 1; i <= 6; i++ {
+		if err := p.Observe(ms(10*i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Underutilized(ms(10), 100) {
+		t.Fatal("10 B/period should be under a 100 B threshold")
+	}
+	if p.Underutilized(ms(10), 5) {
+		t.Fatal("10 B/period should not be under a 5 B threshold")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	p, _ := New(0.5, 3)
+	for i := 1; i <= 10; i++ {
+		if err := p.Observe(ms(10*i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Samples() != 3 {
+		t.Fatalf("window holds %d samples, want 3", p.Samples())
+	}
+}
+
+func TestSingleSampleForecast(t *testing.T) {
+	p, _ := New(0.5, 4)
+	if err := p.Observe(ms(10), 42); err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Forecast(ms(10)); f != 42 {
+		t.Fatalf("single-sample forecast %v, want the level 42", f)
+	}
+}
+
+func TestForecastFiniteProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		p, _ := New(0.4, 8)
+		for i, v := range vals {
+			if err := p.Observe(ms(10*(i+1)), float64(v)); err != nil {
+				return false
+			}
+		}
+		fc := p.Forecast(ms(30))
+		return fc >= 0 && fc == fc // non-negative, not NaN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

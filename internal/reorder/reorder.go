@@ -1,0 +1,248 @@
+// Package reorder implements the paper's dynamic rank reordering (Sec. 5,
+// Fig. 1): monitor a phase of an iterative application with the
+// introspection library, gather the communication matrix at rank 0, compute
+// a topology-aware permutation with TreeMatch, broadcast it, and build a
+// reordered communicator with Comm.Split — all at run time, without
+// restarting the application or migrating processes.
+package reorder
+
+import (
+	"fmt"
+	"time"
+
+	"mpimon/internal/monitoring"
+	"mpimon/internal/mpi"
+	"mpimon/internal/topology"
+	"mpimon/internal/treematch"
+)
+
+// Options tunes the reordering step.
+type Options struct {
+	// Flags selects the communication classes of the gathered matrix;
+	// zero means monitoring.AllComm.
+	Flags monitoring.Flags
+	// ChargeMappingTime adds the real time spent computing the TreeMatch
+	// permutation to rank 0's virtual clock, so the reordering overhead
+	// the paper's Fig. 6 accounts for is part of the measured time.
+	ChargeMappingTime bool
+	// FixedMappingTime, when positive, is charged instead of the
+	// measured time (deterministic tests and reproducible sweeps).
+	FixedMappingTime time.Duration
+}
+
+// DefaultOptions is what Reorder uses when opts is nil.
+var DefaultOptions = Options{Flags: monitoring.AllComm, ChargeMappingTime: true}
+
+// NewRanks computes the paper's k vector from a TreeMatch result: given
+// coreOf (role j should run on core coreOf[j]) and place (old rank r runs
+// on core place[r]), k[r] is the new rank (role) of old rank r — the
+// process physically located where TreeMatch wants role k[r]. Both slices
+// must cover the same set of cores.
+func NewRanks(coreOf, place []int) ([]int, error) {
+	if len(coreOf) != len(place) {
+		return nil, fmt.Errorf("reorder: %d roles for %d ranks", len(coreOf), len(place))
+	}
+	roleAt := make(map[int]int, len(coreOf))
+	for role, core := range coreOf {
+		if _, dup := roleAt[core]; dup {
+			return nil, fmt.Errorf("reorder: two roles mapped on core %d", core)
+		}
+		roleAt[core] = role
+	}
+	k := make([]int, len(place))
+	for r, core := range place {
+		role, ok := roleAt[core]
+		if !ok {
+			return nil, fmt.Errorf("reorder: rank %d runs on core %d, which received no role", r, core)
+		}
+		k[r] = role
+	}
+	return k, nil
+}
+
+// ComputeMapping is the paper's compute_mapping: from the gathered bytes
+// matrix (row-major n-by-n), the machine topology and the current placement
+// of the n communicator members, it returns the k vector. It runs on rank 0
+// only.
+func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	if len(place) != n {
+		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), n)
+	}
+	m, err := treematch.FromBytesMatrix(mat, n)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := topo.Restrict(place)
+	if err != nil {
+		return nil, err
+	}
+	coreOf, err := treematch.MapTree(m, tree)
+	if err != nil {
+		return nil, err
+	}
+	return NewRanks(coreOf, place)
+}
+
+// memberPlacement returns the core of each member of the communicator.
+func memberPlacement(c *mpi.Comm) []int {
+	world := c.World().Placement()
+	out := make([]int, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		out[i] = world[c.WorldRank(i)]
+	}
+	return out
+}
+
+// Reorder executes lines 6-11 of the paper's Fig. 1 on a suspended
+// monitoring session: rank 0 gathers the bytes matrix and computes the
+// TreeMatch permutation k, k is broadcast, and a communicator in which old
+// rank r has become rank k[r] is returned along with k. Collective over the
+// session's communicator. The caller typically redistributes data next
+// (Redistribute) and runs the remaining iterations on the new communicator.
+func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
+	if opts == nil {
+		opts = &DefaultOptions
+	}
+	flags := opts.Flags
+	if flags == 0 {
+		flags = monitoring.AllComm
+	}
+	comm := s.Comm()
+	n := comm.Size()
+	p := comm.Proc()
+
+	_, matBytes, err := s.RootgatherData(0, flags)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var k []int
+	if comm.Rank() == 0 {
+		start := time.Now()
+		k, err = ComputeMapping(matBytes, n, comm.World().Machine().Topo, memberPlacement(comm))
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case opts.FixedMappingTime > 0:
+			p.Compute(opts.FixedMappingTime)
+		case opts.ChargeMappingTime:
+			p.Compute(time.Since(start))
+		}
+	} else {
+		k = make([]int, n)
+	}
+
+	// MPI_Bcast(k, n, MPI_INT, 0, original_comm); excluded from
+	// monitoring like the library's own gathers.
+	mon := p.Monitor()
+	mon.Suppress()
+	buf := mpi.EncodeInts(k)
+	err = comm.Bcast(buf, 0)
+	mon.Unsuppress()
+	if err != nil {
+		return nil, nil, err
+	}
+	k = mpi.DecodeInts(buf)
+
+	// MPI_Comm_split(original_comm, 0, k[myrank], &opt_comm): same color
+	// everywhere, the key is the new rank.
+	mon.Suppress()
+	opt, err := comm.Split(0, k[comm.Rank()])
+	mon.Unsuppress()
+	if err != nil {
+		return nil, nil, err
+	}
+	return opt, k, nil
+}
+
+// MonitorAndReorder is the paper's full Fig. 1 pattern: start a session on
+// comm, run one (or more) monitored iterations via phase, suspend, reorder,
+// and return the optimized communicator and the permutation. The session is
+// freed before returning. Collective over comm.
+func MonitorAndReorder(env *monitoring.Env, comm *mpi.Comm, opts *Options, phase func(*mpi.Comm) error) (*mpi.Comm, []int, error) {
+	s, err := env.Start(comm)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := phase(comm); err != nil {
+		return nil, nil, err
+	}
+	if err := s.Suspend(); err != nil {
+		return nil, nil, err
+	}
+	defer s.Free()
+	return Reorder(s, opts)
+}
+
+// Redistribute moves the per-role data after a reordering: old rank r held
+// the data of role r; its new owner is the process whose new rank is r.
+// Following the paper, rank i receives its new data from old rank k[i] (and
+// symmetrically sends its old data to the process that inherits role r).
+// It returns the received buffer; sizes may differ between roles.
+// Collective over the original communicator.
+func Redistribute(comm *mpi.Comm, k []int, data []byte) ([]byte, error) {
+	r := comm.Rank()
+	if len(k) != comm.Size() {
+		return nil, fmt.Errorf("reorder: permutation of %d entries for a communicator of %d", len(k), comm.Size())
+	}
+	kinv := make([]int, len(k))
+	for i, v := range k {
+		if v < 0 || v >= len(k) {
+			return nil, fmt.Errorf("reorder: permutation entry k[%d]=%d out of range", i, v)
+		}
+		kinv[v] = i
+	}
+	if k[r] == r {
+		return append([]byte(nil), data...), nil
+	}
+	const tag = 1<<19 + 7
+	req, err := comm.Isend(kinv[r], tag, data)
+	if err != nil {
+		return nil, err
+	}
+	st, err := comm.Probe(k[r], tag)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size)
+	if _, err := comm.Recv(k[r], tag, buf); err != nil {
+		return nil, err
+	}
+	if _, err := req.Wait(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// StaticPlacement computes a launch-time placement from a communication
+// matrix of a previous run — the static strategy the paper contrasts with
+// its dynamic reordering (monitor once, re-execute with the better
+// mapping): given the gathered bytes matrix and the machine topology, it
+// returns the rank-to-core placement to pass to a new world via
+// WithPlacement. cores selects the usable cores (nil = all).
+func StaticPlacement(mat []uint64, n int, topo *topology.Topology, cores []int) ([]int, error) {
+	m, err := treematch.FromBytesMatrix(mat, n)
+	if err != nil {
+		return nil, err
+	}
+	var tree *topology.Tree
+	if cores == nil {
+		if n > topo.Leaves() {
+			return nil, fmt.Errorf("reorder: %d ranks exceed %d cores", n, topo.Leaves())
+		}
+		all := make([]int, topo.Leaves())
+		for i := range all {
+			all[i] = i
+		}
+		cores = all[:n]
+	}
+	if len(cores) != n {
+		return nil, fmt.Errorf("reorder: %d usable cores for %d ranks", len(cores), n)
+	}
+	tree, err = topo.Restrict(cores)
+	if err != nil {
+		return nil, err
+	}
+	return treematch.MapTree(m, tree)
+}

@@ -1,0 +1,273 @@
+// Package stencil is a distributed 2D Jacobi heat-diffusion solver, the
+// classic iterative halo-exchange application: the paper's motivating
+// workload class for dynamic rank reordering (regular, stable per-iteration
+// communication — monitor one iteration, reorder, keep iterating). The
+// global grid is partitioned in block rows; each iteration exchanges one
+// halo row with each neighbour and averages the 4-point stencil. Unlike
+// the synthetic benchmarks, the solver computes a real field, so the
+// distributed result can be verified bit-for-bit against a single-rank run.
+package stencil
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mpimon/internal/mpi"
+)
+
+// Config describes a solver run.
+type Config struct {
+	// NX, NY are the global grid dimensions (NX rows are distributed).
+	NX, NY int
+	// Iters is the number of Jacobi sweeps.
+	Iters int
+	// ResidualEvery computes the global residual every k iterations
+	// (0 disables intermediate residuals; the final one is always
+	// computed).
+	ResidualEvery int
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	// Residual is the final global L2 residual (same on every rank).
+	Residual float64
+	// Checksum is the global field sum (same on every rank).
+	Checksum float64
+	// CommTime is this rank's virtual time in MPI calls; TotalTime the
+	// virtual duration of the solve.
+	CommTime  time.Duration
+	TotalTime time.Duration
+}
+
+const (
+	tagHaloUp   = 30 << 20
+	tagHaloDown = 31 << 20
+)
+
+// rowRange returns the half-open global row range of a rank.
+func rowRange(rank, np, nx int) (lo, hi int) {
+	return rank * nx / np, (rank + 1) * nx / np
+}
+
+// Run executes the solver on the communicator. Collective; every member
+// passes the same config. The boundary condition is a hot top edge
+// (value 1) with cold other edges (0), interior initialized to 0.
+func Run(c *mpi.Comm, cfg Config) (Result, error) {
+	np := c.Size()
+	if cfg.NX < np {
+		return Result{}, fmt.Errorf("stencil: %d rows cannot feed %d ranks", cfg.NX, np)
+	}
+	if cfg.NY < 2 || cfg.Iters < 0 {
+		return Result{}, fmt.Errorf("stencil: bad config %+v", cfg)
+	}
+	p := c.Proc()
+	t0, m0 := p.Clock(), p.MPITime()
+
+	lo, hi := rowRange(c.Rank(), np, cfg.NX)
+	rows := hi - lo
+	ny := cfg.NY
+	// Local field with two halo rows (index 0 and rows+1).
+	cur := make([]float64, (rows+2)*ny)
+	next := make([]float64, (rows+2)*ny)
+	at := func(f []float64, i, j int) int { return (i+1)*ny + j }
+
+	// Boundary: global row 0 is hot.
+	if lo == 0 {
+		for j := 0; j < ny; j++ {
+			cur[at(cur, 0, j)] = 1
+		}
+	}
+
+	up := c.Rank() - 1   // owns smaller rows
+	down := c.Rank() + 1 // owns larger rows
+
+	exchangeHalos := func(f []float64) error {
+		// Send my first row up / receive my top halo; then symmetric
+		// downwards. Sendrecv never deadlocks in this runtime.
+		if up >= 0 {
+			row := append([]float64(nil), f[at(f, 0, 0):at(f, 0, ny)]...)
+			buf := make([]byte, 8*ny)
+			if _, err := c.Sendrecv(up, tagHaloUp, mpi.EncodeFloat64s(row), up, tagHaloDown, buf); err != nil {
+				return err
+			}
+			copy(f[at(f, -1, 0):at(f, -1, ny)], mpi.DecodeFloat64s(buf))
+		}
+		if down < np {
+			row := append([]float64(nil), f[at(f, rows-1, 0):at(f, rows-1, ny)]...)
+			buf := make([]byte, 8*ny)
+			if _, err := c.Sendrecv(down, tagHaloDown, mpi.EncodeFloat64s(row), down, tagHaloUp, buf); err != nil {
+				return err
+			}
+			copy(f[at(f, rows, 0):at(f, rows, ny)], mpi.DecodeFloat64s(buf))
+		}
+		return nil
+	}
+
+	// isBoundary tells whether a global cell is fixed (Dirichlet edges).
+	isBoundary := func(gi, j int) bool {
+		return gi == 0 || gi == cfg.NX-1 || j == 0 || j == ny-1
+	}
+
+	var residual float64
+	globalResidual := func(f, g []float64) (float64, error) {
+		var local float64
+		for i := 0; i < rows; i++ {
+			for j := 0; j < ny; j++ {
+				d := g[at(g, i, j)] - f[at(f, i, j)]
+				local += d * d
+			}
+		}
+		send := mpi.EncodeFloat64s([]float64{local})
+		recv := make([]byte, 8)
+		if err := c.Allreduce(send, recv, mpi.Float64, mpi.OpSum); err != nil {
+			return 0, err
+		}
+		return math.Sqrt(mpi.DecodeFloat64s(recv)[0]), nil
+	}
+
+	for it := 1; it <= cfg.Iters; it++ {
+		if err := exchangeHalos(cur); err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < rows; i++ {
+			gi := lo + i
+			for j := 0; j < ny; j++ {
+				idx := at(cur, i, j)
+				if isBoundary(gi, j) {
+					next[idx] = cur[idx]
+					continue
+				}
+				next[idx] = 0.25 * (cur[at(cur, i-1, j)] + cur[at(cur, i+1, j)] +
+					cur[at(cur, i, j-1)] + cur[at(cur, i, j+1)])
+			}
+		}
+		p.ComputeFlops(4 * float64(rows*ny))
+		if cfg.ResidualEvery > 0 && it%cfg.ResidualEvery == 0 || it == cfg.Iters {
+			var err error
+			residual, err = globalResidual(cur, next)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Global checksum.
+	var local float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < ny; j++ {
+			local += cur[at(cur, i, j)]
+		}
+	}
+	recv := make([]byte, 8)
+	if err := c.Allreduce(mpi.EncodeFloat64s([]float64{local}), recv, mpi.Float64, mpi.OpSum); err != nil {
+		return Result{}, err
+	}
+
+	return Result{
+		Residual:  residual,
+		Checksum:  mpi.DecodeFloat64s(recv)[0],
+		CommTime:  p.MPITime() - m0,
+		TotalTime: p.Clock() - t0,
+	}, nil
+}
+
+// GatherField collects the full global field at root (row-major NX x NY)
+// after a Run with the same config; other ranks receive nil. It reruns
+// nothing — call it on a freshly solved state by running the solver again;
+// it exists mainly for verification, so it simply re-executes the solve
+// and gathers. Collective.
+func GatherField(c *mpi.Comm, cfg Config) ([]float64, error) {
+	np := c.Size()
+	// Re-run locally, keeping the final field.
+	field, err := runKeepField(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, np)
+	displs := make([]int, np)
+	off := 0
+	for r := 0; r < np; r++ {
+		lo, hi := rowRange(r, np, cfg.NX)
+		counts[r] = (hi - lo) * cfg.NY * 8
+		displs[r] = off
+		off += counts[r]
+	}
+	var recv []byte
+	if c.Rank() == 0 {
+		recv = make([]byte, off)
+	}
+	if err := c.Gatherv(mpi.EncodeFloat64s(field), recv, counts, displs, 0); err != nil {
+		return nil, err
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	return mpi.DecodeFloat64s(recv), nil
+}
+
+// runKeepField is Run without the result bookkeeping, returning the local
+// interior rows.
+func runKeepField(c *mpi.Comm, cfg Config) ([]float64, error) {
+	np := c.Size()
+	if cfg.NX < np || cfg.NY < 2 {
+		return nil, fmt.Errorf("stencil: bad config %+v", cfg)
+	}
+	lo, hi := rowRange(c.Rank(), np, cfg.NX)
+	rows := hi - lo
+	ny := cfg.NY
+	cur := make([]float64, (rows+2)*ny)
+	next := make([]float64, (rows+2)*ny)
+	return runLoop(c, cfg, lo, rows, ny, cur, next)
+}
+
+func runLoop(c *mpi.Comm, cfg Config, lo, rows, ny int, cur, next []float64) ([]float64, error) {
+	np := c.Size()
+	at := func(i, j int) int { return (i+1)*ny + j }
+	if lo == 0 {
+		for j := 0; j < ny; j++ {
+			cur[at(0, j)] = 1
+		}
+	}
+	up, down := c.Rank()-1, c.Rank()+1
+	isBoundary := func(gi, j int) bool {
+		return gi == 0 || gi == cfg.NX-1 || j == 0 || j == ny-1
+	}
+	for it := 1; it <= cfg.Iters; it++ {
+		if up >= 0 {
+			row := append([]float64(nil), cur[at(0, 0):at(0, ny)]...)
+			buf := make([]byte, 8*ny)
+			if _, err := c.Sendrecv(up, tagHaloUp, mpi.EncodeFloat64s(row), up, tagHaloDown, buf); err != nil {
+				return nil, err
+			}
+			copy(cur[at(-1, 0):at(-1, ny)], mpi.DecodeFloat64s(buf))
+		}
+		if down < np {
+			row := append([]float64(nil), cur[at(rows-1, 0):at(rows-1, ny)]...)
+			buf := make([]byte, 8*ny)
+			if _, err := c.Sendrecv(down, tagHaloDown, mpi.EncodeFloat64s(row), down, tagHaloUp, buf); err != nil {
+				return nil, err
+			}
+			copy(cur[at(rows, 0):at(rows, ny)], mpi.DecodeFloat64s(buf))
+		}
+		for i := 0; i < rows; i++ {
+			gi := lo + i
+			for j := 0; j < ny; j++ {
+				idx := at(i, j)
+				if isBoundary(gi, j) {
+					next[idx] = cur[idx]
+					continue
+				}
+				next[idx] = 0.25 * (cur[at(i-1, j)] + cur[at(i+1, j)] +
+					cur[at(i, j-1)] + cur[at(i, j+1)])
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([]float64, rows*ny)
+	for i := 0; i < rows; i++ {
+		copy(out[i*ny:(i+1)*ny], cur[at(i, 0):at(i, ny)])
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package stencil
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mpimon/internal/monitoring"
+	"mpimon/internal/mpi"
+	"mpimon/internal/netsim"
+	"mpimon/internal/reorder"
+	"mpimon/internal/treematch"
+)
+
+func newWorld(t *testing.T, np int, opts ...mpi.Option) *mpi.World {
+	t.Helper()
+	nodes := (np + 23) / 24
+	if nodes < 1 {
+		nodes = 1
+	}
+	w, err := mpi.NewWorld(netsim.PlaFRIM(nodes), np, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		if _, err := Run(c, Config{NX: 2, NY: 8, Iters: 1}); err == nil {
+			return fmt.Errorf("2 rows on 4 ranks should fail")
+		}
+		if _, err := Run(c, Config{NX: 8, NY: 1, Iters: 1}); err == nil {
+			return fmt.Errorf("1 column should fail")
+		}
+		if _, err := Run(c, Config{NX: 8, NY: 8, Iters: -1}); err == nil {
+			return fmt.Errorf("negative iterations should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatFlowsDownward(t *testing.T) {
+	// With a hot top edge, heat must diffuse: checksum grows with
+	// iteration count and the residual shrinks once near steady state.
+	checksum := func(iters int) float64 {
+		w := newWorld(t, 4)
+		var cs float64
+		err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+			res, err := Run(c, Config{NX: 16, NY: 16, Iters: iters})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				cs = res.Checksum
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	c10, c100 := checksum(10), checksum(100)
+	if !(c100 > c10 && c10 > 16) { // top edge alone sums to 16
+		t.Fatalf("diffusion not progressing: checksum(10)=%v, checksum(100)=%v", c10, c100)
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		short, err := Run(c, Config{NX: 24, NY: 24, Iters: 20})
+		if err != nil {
+			return err
+		}
+		long, err := Run(c, Config{NX: 24, NY: 24, Iters: 500})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && long.Residual >= short.Residual {
+			return fmt.Errorf("residual did not decrease: %v -> %v", short.Residual, long.Residual)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedMatchesSerialBitForBit(t *testing.T) {
+	cfg := Config{NX: 20, NY: 12, Iters: 37}
+	fieldFor := func(np int) []float64 {
+		w := newWorld(t, np)
+		var field []float64
+		err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+			f, err := GatherField(c, cfg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				field = f
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return field
+	}
+	serial := fieldFor(1)
+	for _, np := range []int{2, 4, 5} {
+		dist := fieldFor(np)
+		if len(dist) != len(serial) {
+			t.Fatalf("np=%d field size %d vs %d", np, len(dist), len(serial))
+		}
+		for i := range serial {
+			if dist[i] != serial[i] {
+				t.Fatalf("np=%d field differs at %d: %v vs %v (the update is local, so any difference is a halo bug)",
+					np, i, dist[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestChecksumIndependentOfRanks(t *testing.T) {
+	cfg := Config{NX: 32, NY: 16, Iters: 50}
+	var sums []float64
+	for _, np := range []int{1, 2, 8} {
+		w := newWorld(t, np)
+		err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+			res, err := Run(c, cfg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				sums = append(sums, res.Checksum)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(sums); i++ {
+		// Allreduce order differs across np; tolerate rounding.
+		if math.Abs(sums[i]-sums[0]) > 1e-9*math.Abs(sums[0]) {
+			t.Fatalf("checksums diverge across world sizes: %v", sums)
+		}
+	}
+}
+
+func TestTimersPopulated(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		res, err := Run(c, Config{NX: 16, NY: 64, Iters: 10})
+		if err != nil {
+			return err
+		}
+		if res.TotalTime <= 0 || res.CommTime <= 0 || res.CommTime > res.TotalTime {
+			return fmt.Errorf("timers wrong: %+v", res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReorderingImprovesStencil: under a random placement the halo chain
+// zigzags across nodes; monitoring one sweep and reordering must cut the
+// communication time of the remaining sweeps.
+func TestReorderingImprovesStencil(t *testing.T) {
+	const np = 48
+	mach := netsim.PlaFRIM(2)
+	place, err := treematch.PlacementRandom(np, mach.Topo, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mach, np, mpi.WithPlacement(place))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{NX: 96, NY: 4096, Iters: 10}
+	err = w.RunWithTimeout(2*time.Minute, func(c *mpi.Comm) error {
+		env, err := monitoring.Init(c.Proc())
+		if err != nil {
+			return err
+		}
+		defer env.Finalize()
+		p := c.Proc()
+
+		t0 := p.Clock()
+		if _, err := Run(c, cfg); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		before := p.Clock() - t0
+
+		one := cfg
+		one.Iters = 1
+		opt, _, err := reorder.MonitorAndReorder(env, c, nil, func(cc *mpi.Comm) error {
+			_, err := Run(cc, one)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t0 = p.Clock()
+		if _, err := Run(opt, cfg); err != nil {
+			return err
+		}
+		if err := opt.Barrier(); err != nil {
+			return err
+		}
+		after := p.Clock() - t0
+
+		if c.Rank() == 0 && after >= before {
+			return fmt.Errorf("reordering did not help the stencil: %v -> %v", before, after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun2DMatchesRun1DChecksum(t *testing.T) {
+	cfg := Config{NX: 24, NY: 18, Iters: 40}
+	checksum1D := func() float64 {
+		w := newWorld(t, 6)
+		var cs float64
+		if err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+			res, err := Run(c, cfg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				cs = res.Checksum
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	checksum2D := func(reorder bool) float64 {
+		w := newWorld(t, 6)
+		var cs float64
+		if err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+			res, err := Run2D(c, cfg, reorder)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				cs = res.Checksum
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	a := checksum1D()
+	b := checksum2D(false)
+	r := checksum2D(true)
+	if math.Abs(a-b) > 1e-9*math.Abs(a) {
+		t.Fatalf("2D decomposition changed the physics: %v vs %v", b, a)
+	}
+	if math.Abs(a-r) > 1e-9*math.Abs(a) {
+		t.Fatalf("reordered 2D decomposition changed the physics: %v vs %v", r, a)
+	}
+}
+
+func TestRun2DValidation(t *testing.T) {
+	w := newWorld(t, 4)
+	err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		if _, err := Run2D(c, Config{NX: 1, NY: 1, Iters: 1}, false); err == nil {
+			return fmt.Errorf("tiny grid should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun2DSingleRank(t *testing.T) {
+	w := newWorld(t, 1)
+	err := w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		res, err := Run2D(c, Config{NX: 8, NY: 8, Iters: 10}, false)
+		if err != nil {
+			return err
+		}
+		if res.Checksum <= 0 {
+			return fmt.Errorf("no diffusion on a single rank")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package topology models the hardware of a distributed-memory machine as a
+// tree: a root interconnect switch, compute nodes below it, sockets below
+// nodes, and cores (processing units) at the leaves. The tree is the input
+// of the TreeMatch placement algorithm and of the network cost model.
+//
+// Depth conventions: depth 0 is the root; the deepest level holds the
+// leaves. For two leaves a and b, SharedLevel(a, b) is the depth of their
+// deepest common ancestor — the larger it is, the "closer" the two cores
+// are. Distance(a, b) is the complementary hop count used as a cost weight.
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Topology is a homogeneous (balanced) hardware tree described by the arity
+// of each level. A Topology value is immutable after construction and safe
+// for concurrent use.
+type Topology struct {
+	arities []int // arities[l] = children per node at depth l
+	leaves  int   // product of arities
+	stride  []int // stride[l] = leaves under one node at depth l+1 subtree... see below
+	// nodeDepth is the depth at which compute nodes live (1 for a
+	// single-switch cluster; 2 when a switch level sits above the nodes).
+	nodeDepth int
+}
+
+// New builds a balanced topology from the given arities, root first.
+// For example New(8, 2, 12) is 8 nodes of 2 sockets of 12 cores under a
+// single switch: 192 leaves at depth 3. Compute nodes live at depth 1; use
+// NewWithNodeDepth for machines with switch levels above the nodes.
+func New(arities ...int) (*Topology, error) {
+	return NewWithNodeDepth(1, arities...)
+}
+
+// NewWithNodeDepth builds a balanced topology whose compute nodes live at
+// the given depth: NewWithNodeDepth(2, 4, 8, 2, 12) is 4 switches of 8
+// nodes of 2 sockets of 12 cores — traffic between different depth-1
+// subtrees crosses switches.
+func NewWithNodeDepth(nodeDepth int, arities ...int) (*Topology, error) {
+	if len(arities) == 0 {
+		return nil, fmt.Errorf("topology: need at least one level")
+	}
+	if nodeDepth < 1 || nodeDepth >= len(arities)+1 {
+		return nil, fmt.Errorf("topology: node depth %d outside [1,%d]", nodeDepth, len(arities))
+	}
+	leaves := 1
+	for i, a := range arities {
+		if a <= 0 {
+			return nil, fmt.Errorf("topology: arity %d at level %d must be positive", a, i)
+		}
+		leaves *= a
+	}
+	t := &Topology{arities: append([]int(nil), arities...), leaves: leaves, nodeDepth: nodeDepth}
+	// stride[l] = number of leaves under one subtree rooted at depth l+1,
+	// i.e. product of arities below level l.
+	t.stride = make([]int, len(arities))
+	s := 1
+	for l := len(arities) - 1; l >= 0; l-- {
+		t.stride[l] = s
+		s *= arities[l]
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(arities ...int) *Topology {
+	t, err := New(arities...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Cluster builds the common three-level machine used throughout the paper:
+// a single switch, nodes compute nodes, each with sockets sockets of
+// coresPerSocket cores.
+func Cluster(nodes, sockets, coresPerSocket int) (*Topology, error) {
+	return New(nodes, sockets, coresPerSocket)
+}
+
+// Parse reads a compact spec such as "8x2x12" (nodes x sockets x cores).
+func Parse(spec string) (*Topology, error) {
+	parts := strings.Split(spec, "x")
+	arities := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad spec %q: %v", spec, err)
+		}
+		arities = append(arities, v)
+	}
+	return New(arities...)
+}
+
+// Depth returns the number of levels below the root; leaves live at Depth().
+func (t *Topology) Depth() int { return len(t.arities) }
+
+// Arities returns a copy of the per-level arities, root first.
+func (t *Topology) Arities() []int { return append([]int(nil), t.arities...) }
+
+// Leaves returns the number of leaves (cores / processing units).
+func (t *Topology) Leaves() int { return t.leaves }
+
+// NodeDepth returns the depth at which compute nodes live (1 unless built
+// with NewWithNodeDepth).
+func (t *Topology) NodeDepth() int { return t.nodeDepth }
+
+// NumNodes returns the number of compute nodes of the cluster.
+func (t *Topology) NumNodes() int {
+	n := 1
+	for _, a := range t.arities[:t.nodeDepth] {
+		n *= a
+	}
+	return n
+}
+
+// LeavesPerNode returns the number of cores per compute node.
+func (t *Topology) LeavesPerNode() int { return t.leaves / t.NumNodes() }
+
+// NodeOf returns the index of the compute node containing the given leaf.
+func (t *Topology) NodeOf(leaf int) int { return t.AncestorAt(leaf, t.nodeDepth) }
+
+// AncestorAt returns the index (among nodes of the same depth, left to
+// right) of the ancestor of leaf at the given depth. Depth 0 always returns
+// 0 (the root); depth Depth() returns leaf itself.
+func (t *Topology) AncestorAt(leaf, depth int) int {
+	if leaf < 0 || leaf >= t.leaves {
+		panic(fmt.Sprintf("topology: leaf %d out of range [0,%d)", leaf, t.leaves))
+	}
+	if depth <= 0 {
+		return 0
+	}
+	if depth >= len(t.arities) {
+		return leaf
+	}
+	return leaf / t.stride[depth-1]
+}
+
+// SharedLevel returns the depth of the deepest common ancestor of leaves a
+// and b: 0 if they only share the root, Depth() if a == b.
+func (t *Topology) SharedLevel(a, b int) int {
+	if a == b {
+		return len(t.arities)
+	}
+	for l := len(t.arities) - 1; l >= 1; l-- {
+		if t.AncestorAt(a, l) == t.AncestorAt(b, l) {
+			return l
+		}
+	}
+	return 0
+}
+
+// SameNode reports whether leaves a and b are under the same depth-1
+// subtree (same compute node).
+func (t *Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// Distance returns a hop-count-like cost between two leaves:
+// Depth()-SharedLevel(a,b). Zero means the same core; the maximum,
+// Depth(), means the paths only meet at the root switch.
+func (t *Topology) Distance(a, b int) int { return len(t.arities) - t.SharedLevel(a, b) }
+
+// String returns the compact spec, e.g. "8x2x12".
+func (t *Topology) String() string {
+	parts := make([]string, len(t.arities))
+	for i, a := range t.arities {
+		parts[i] = strconv.Itoa(a)
+	}
+	return strings.Join(parts, "x")
+}
+
+// Tree is an explicit, possibly uneven tree of hardware resources. It is
+// the constrained-topology input of placement algorithms: Restrict prunes a
+// balanced Topology to the set of cores actually available for placement
+// (e.g. 64 MPI processes on 3 nodes of 24 cores occupy 64 of 72 leaves).
+type Tree struct {
+	// Children is nil for leaves.
+	Children []*Tree
+	// Leaf is the processing-unit index for leaves, -1 for inner nodes.
+	Leaf int
+	// Cap is the number of leaves in this subtree.
+	Cap int
+}
+
+// FullTree expands the balanced topology into an explicit Tree.
+func (t *Topology) FullTree() *Tree {
+	return t.buildTree(0, 0)
+}
+
+func (t *Topology) buildTree(depth, firstLeaf int) *Tree {
+	if depth == len(t.arities) {
+		return &Tree{Leaf: firstLeaf, Cap: 1}
+	}
+	n := &Tree{Leaf: -1}
+	stride := t.stride[depth]
+	for c := 0; c < t.arities[depth]; c++ {
+		child := t.buildTree(depth+1, firstLeaf+c*stride)
+		n.Children = append(n.Children, child)
+		n.Cap += child.Cap
+	}
+	return n
+}
+
+// Restrict returns the subtree of the balanced topology containing only the
+// given leaves. Inner nodes with no retained leaf are dropped; the result
+// may be uneven. It returns an error if leaves is empty, out of range, or
+// contains duplicates.
+func (t *Topology) Restrict(leaves []int) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("topology: Restrict needs at least one leaf")
+	}
+	keep := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		if l < 0 || l >= t.leaves {
+			return nil, fmt.Errorf("topology: leaf %d out of range [0,%d)", l, t.leaves)
+		}
+		if keep[l] {
+			return nil, fmt.Errorf("topology: duplicate leaf %d", l)
+		}
+		keep[l] = true
+	}
+	full := t.FullTree()
+	r := prune(full, keep)
+	if r == nil {
+		return nil, fmt.Errorf("topology: no leaf retained")
+	}
+	return r, nil
+}
+
+func prune(n *Tree, keep map[int]bool) *Tree {
+	if n.Children == nil {
+		if keep[n.Leaf] {
+			return &Tree{Leaf: n.Leaf, Cap: 1}
+		}
+		return nil
+	}
+	out := &Tree{Leaf: -1}
+	for _, c := range n.Children {
+		if pc := prune(c, keep); pc != nil {
+			out.Children = append(out.Children, pc)
+			out.Cap += pc.Cap
+		}
+	}
+	if len(out.Children) == 0 {
+		return nil
+	}
+	return out
+}
+
+// LeafIDs returns the leaves of the tree in left-to-right order.
+func (n *Tree) LeafIDs() []int {
+	var out []int
+	var walk func(*Tree)
+	walk = func(t *Tree) {
+		if t.Children == nil {
+			out = append(out, t.Leaf)
+			return
+		}
+		for _, c := range t.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Depth returns the height of the tree (0 for a single leaf).
+func (n *Tree) Depth() int {
+	if n.Children == nil {
+		return 0
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}

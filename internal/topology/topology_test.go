@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("New() with no levels should fail")
+	}
+	if _, err := New(4, 0, 2); err == nil {
+		t.Fatal("New with zero arity should fail")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Fatal("New with negative arity should fail")
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	topo := MustNew(8, 2, 12)
+	if got := topo.Leaves(); got != 192 {
+		t.Fatalf("Leaves() = %d, want 192", got)
+	}
+	if got := topo.Depth(); got != 3 {
+		t.Fatalf("Depth() = %d, want 3", got)
+	}
+	if got := topo.NumNodes(); got != 8 {
+		t.Fatalf("NumNodes() = %d, want 8", got)
+	}
+	if got := topo.LeavesPerNode(); got != 24 {
+		t.Fatalf("LeavesPerNode() = %d, want 24", got)
+	}
+	if got := topo.String(); got != "8x2x12" {
+		t.Fatalf("String() = %q, want 8x2x12", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	topo, err := Parse("4x2x6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Leaves() != 48 {
+		t.Fatalf("Leaves() = %d, want 48", topo.Leaves())
+	}
+	if _, err := Parse("4xax2"); err == nil {
+		t.Fatal("Parse with non-numeric level should fail")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Fatal("Parse of empty spec should fail")
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	topo := MustNew(4, 2, 3) // 24 leaves, 6 per node
+	cases := []struct{ leaf, node int }{
+		{0, 0}, {5, 0}, {6, 1}, {11, 1}, {12, 2}, {23, 3},
+	}
+	for _, c := range cases {
+		if got := topo.NodeOf(c.leaf); got != c.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", c.leaf, got, c.node)
+		}
+	}
+}
+
+func TestSharedLevelAndDistance(t *testing.T) {
+	topo := MustNew(2, 2, 3) // nodes of 2 sockets of 3 cores
+	cases := []struct {
+		a, b          int
+		shared, dist  int
+		sameNodeValue bool
+	}{
+		{0, 0, 3, 0, true},   // same core
+		{0, 1, 2, 1, true},   // same socket
+		{0, 3, 1, 2, true},   // same node, other socket
+		{0, 6, 0, 3, false},  // other node
+		{5, 11, 0, 3, false}, // other node
+		{7, 8, 2, 1, true},   // same socket on node 1
+	}
+	for _, c := range cases {
+		if got := topo.SharedLevel(c.a, c.b); got != c.shared {
+			t.Errorf("SharedLevel(%d,%d) = %d, want %d", c.a, c.b, got, c.shared)
+		}
+		if got := topo.Distance(c.a, c.b); got != c.dist {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.dist)
+		}
+		if got := topo.SameNode(c.a, c.b); got != c.sameNodeValue {
+			t.Errorf("SameNode(%d,%d) = %v, want %v", c.a, c.b, got, c.sameNodeValue)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	topo := MustNew(3, 2, 4)
+	n := topo.Leaves()
+	// Symmetry, identity and triangle-ish bound via shared levels.
+	f := func(ai, bi uint) bool {
+		a, b := int(ai%uint(n)), int(bi%uint(n))
+		if topo.Distance(a, b) != topo.Distance(b, a) {
+			return false
+		}
+		if (topo.Distance(a, b) == 0) != (a == b) {
+			return false
+		}
+		return topo.Distance(a, b) <= topo.Depth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullTree(t *testing.T) {
+	topo := MustNew(2, 3)
+	tree := topo.FullTree()
+	if tree.Cap != 6 {
+		t.Fatalf("full tree Cap = %d, want 6", tree.Cap)
+	}
+	if tree.Depth() != 2 {
+		t.Fatalf("full tree Depth = %d, want 2", tree.Depth())
+	}
+	ids := tree.LeafIDs()
+	if len(ids) != 6 {
+		t.Fatalf("LeafIDs has %d entries, want 6", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("LeafIDs[%d] = %d, want %d (left-to-right order)", i, id, i)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	topo := MustNew(3, 2, 2) // 12 leaves
+	// Keep nodes 0 and 2 partially occupied.
+	keep := []int{0, 1, 2, 8, 9}
+	tree, err := topo.Restrict(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Cap != 5 {
+		t.Fatalf("restricted Cap = %d, want 5", tree.Cap)
+	}
+	ids := tree.LeafIDs()
+	want := []int{0, 1, 2, 8, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("LeafIDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("LeafIDs = %v, want %v", ids, want)
+		}
+	}
+	// Node 1 (leaves 4..7) must have been pruned entirely: root has 2 children.
+	if len(tree.Children) != 2 {
+		t.Fatalf("restricted root has %d children, want 2", len(tree.Children))
+	}
+}
+
+func TestRestrictErrors(t *testing.T) {
+	topo := MustNew(2, 2)
+	if _, err := topo.Restrict(nil); err == nil {
+		t.Fatal("Restrict(nil) should fail")
+	}
+	if _, err := topo.Restrict([]int{0, 0}); err == nil {
+		t.Fatal("Restrict with duplicate leaf should fail")
+	}
+	if _, err := topo.Restrict([]int{4}); err == nil {
+		t.Fatal("Restrict with out-of-range leaf should fail")
+	}
+	if _, err := topo.Restrict([]int{-1}); err == nil {
+		t.Fatal("Restrict with negative leaf should fail")
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	topo := MustNew(2, 2, 2)
+	if got := topo.AncestorAt(5, 0); got != 0 {
+		t.Fatalf("AncestorAt(5,0) = %d, want 0", got)
+	}
+	if got := topo.AncestorAt(5, 3); got != 5 {
+		t.Fatalf("AncestorAt(5,3) = %d, want 5", got)
+	}
+	if got := topo.AncestorAt(5, 1); got != 1 {
+		t.Fatalf("AncestorAt(5,1) = %d, want 1", got)
+	}
+	if got := topo.AncestorAt(5, 2); got != 2 {
+		t.Fatalf("AncestorAt(5,2) = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AncestorAt with out-of-range leaf should panic")
+		}
+	}()
+	topo.AncestorAt(8, 1)
+}
+
+func TestNodeDepth(t *testing.T) {
+	// 2 switches x 3 nodes x 4 cores, nodes at depth 2.
+	topo, err := NewWithNodeDepth(2, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeDepth() != 2 {
+		t.Fatalf("NodeDepth = %d", topo.NodeDepth())
+	}
+	if topo.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", topo.NumNodes())
+	}
+	if topo.LeavesPerNode() != 4 {
+		t.Fatalf("LeavesPerNode = %d, want 4", topo.LeavesPerNode())
+	}
+	// Leaves 0..3 on node 0 (switch 0), 12..15 on node 3 (switch 1).
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 {
+		t.Fatal("NodeOf wrong for first node")
+	}
+	if topo.NodeOf(12) != 3 || topo.NodeOf(15) != 3 {
+		t.Fatalf("NodeOf(12) = %d, want 3", topo.NodeOf(12))
+	}
+	// Same switch, different nodes: shared level 1.
+	if topo.SharedLevel(0, 4) != 1 {
+		t.Fatalf("SharedLevel(0,4) = %d, want 1", topo.SharedLevel(0, 4))
+	}
+	// Different switches: shared level 0.
+	if topo.SharedLevel(0, 12) != 0 {
+		t.Fatalf("SharedLevel(0,12) = %d, want 0", topo.SharedLevel(0, 12))
+	}
+	if topo.SameNode(0, 4) {
+		t.Fatal("leaves on different nodes reported as same node")
+	}
+}
+
+func TestNodeDepthValidation(t *testing.T) {
+	if _, err := NewWithNodeDepth(0, 2, 2); err == nil {
+		t.Fatal("node depth 0 should fail")
+	}
+	if _, err := NewWithNodeDepth(3, 2, 2); err == nil {
+		t.Fatal("node depth beyond the tree should fail")
+	}
+}

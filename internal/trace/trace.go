@@ -1,0 +1,143 @@
+// Package trace records per-process communication event traces for
+// post-mortem analysis, in the spirit of the trace-based tools the paper
+// contrasts with (EZtrace, DUMPI): one file per process describing its
+// sends over time. Where the introspection library answers "how much, to
+// whom" online, a trace answers "when" offline. Traces are captured
+// through the same pml recorder hook the hardware-counter experiment uses,
+// so they see collectives decomposed too.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded transmission.
+type Event struct {
+	Rank  int           // sender world rank
+	Dst   int           // destination world rank
+	Bytes int64         // payload size
+	When  time.Duration // virtual timestamp at buffering time
+}
+
+// Tracer collects events for one process; attach Recorder as the pml
+// recorder. Safe for concurrent use.
+type Tracer struct {
+	rank int
+	mu   sync.Mutex
+	evs  []Event
+}
+
+// NewTracer builds a tracer for the given world rank.
+func NewTracer(rank int) *Tracer { return &Tracer{rank: rank} }
+
+// Record implements the pml.Recorder signature.
+func (t *Tracer) Record(dst int, bytes int, when int64) {
+	t.mu.Lock()
+	t.evs = append(t.evs, Event{Rank: t.rank, Dst: dst, Bytes: int64(bytes), When: time.Duration(when)})
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events in chronological order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	out := append([]Event(nil), t.evs...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// Write dumps events as a text trace: one "t_ns src dst bytes" line per
+// event, preceded by a header.
+func Write(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# mpimon trace v1: t_ns src dst bytes\n"); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", int64(e.When), e.Rank, e.Dst, e.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var when, src, dst, bytes int64
+		if _, err := fmt.Sscanf(text, "%d %d %d %d", &when, &src, &dst, &bytes); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		out = append(out, Event{Rank: int(src), Dst: int(dst), Bytes: bytes, When: time.Duration(when)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge interleaves several per-process traces into one chronological
+// stream (stable for equal timestamps).
+func Merge(traces ...[]Event) []Event {
+	var out []Event
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// Matrix folds a trace back into the n-by-n bytes matrix the monitoring
+// library would have produced — the bridge from post-mortem traces to the
+// online matrices (useful to validate both against each other).
+func Matrix(evs []Event, n int) ([]uint64, error) {
+	mat := make([]uint64, n*n)
+	for _, e := range evs {
+		if e.Rank < 0 || e.Rank >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, fmt.Errorf("trace: event %d->%d outside a world of %d", e.Rank, e.Dst, n)
+		}
+		mat[e.Rank*n+e.Dst] += uint64(e.Bytes)
+	}
+	return mat, nil
+}
+
+// Phases splits a trace at gaps of at least quiet between consecutive
+// events — a simple phase detector (the "selecting points of interest"
+// idea of the EZtrace line of work).
+func Phases(evs []Event, quiet time.Duration) [][]Event {
+	if len(evs) == 0 {
+		return nil
+	}
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].When < sorted[j].When })
+	var phases [][]Event
+	start := 0
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].When-sorted[i-1].When >= quiet {
+			phases = append(phases, sorted[start:i])
+			start = i
+		}
+	}
+	return append(phases, sorted[start:])
+}

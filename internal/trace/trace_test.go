@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpimon/internal/mpi"
+	"mpimon/internal/netsim"
+	"mpimon/internal/pml"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestTracerRecordsAndSorts(t *testing.T) {
+	tr := NewTracer(3)
+	tr.Record(1, 100, int64(ms(5)))
+	tr.Record(2, 200, int64(ms(2)))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	evs := tr.Events()
+	if evs[0].When != ms(2) || evs[1].When != ms(5) {
+		t.Fatalf("not chronological: %v", evs)
+	}
+	if evs[0].Rank != 3 || evs[0].Dst != 2 || evs[0].Bytes != 200 {
+		t.Fatalf("event fields wrong: %+v", evs[0])
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var evs []Event
+		for i, v := range raw {
+			evs = append(evs, Event{
+				Rank:  int(v % 7),
+				Dst:   int(v / 7 % 7),
+				Bytes: int64(v % 10000),
+				When:  time.Duration(i) * time.Microsecond,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, evs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(evs) {
+			return false
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short line should fail")
+	}
+	if _, err := Read(strings.NewReader("a b c d\n")); err == nil {
+		t.Fatal("non-numeric line should fail")
+	}
+	evs, err := Read(strings.NewReader("# comment\n\n5 0 1 64\n"))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("comments/blank lines mishandled: %v %v", evs, err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Event{{Rank: 0, When: ms(1)}, {Rank: 0, When: ms(5)}}
+	b := []Event{{Rank: 1, When: ms(3)}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].Rank != 0 || m[1].Rank != 1 || m[2].When != ms(5) {
+		t.Fatalf("merge = %v", m)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Dst: 1, Bytes: 10},
+		{Rank: 0, Dst: 1, Bytes: 5},
+		{Rank: 1, Dst: 0, Bytes: 7},
+	}
+	mat, err := Matrix(evs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat[0*2+1] != 15 || mat[1*2+0] != 7 {
+		t.Fatalf("matrix = %v", mat)
+	}
+	if _, err := Matrix([]Event{{Rank: 5}}, 2); err == nil {
+		t.Fatal("out-of-range rank should fail")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	evs := []Event{
+		{When: ms(1)}, {When: ms(2)}, {When: ms(3)},
+		{When: ms(100)}, {When: ms(101)},
+		{When: ms(500)},
+	}
+	ph := Phases(evs, 50*time.Millisecond)
+	if len(ph) != 3 {
+		t.Fatalf("%d phases, want 3", len(ph))
+	}
+	if len(ph[0]) != 3 || len(ph[1]) != 2 || len(ph[2]) != 1 {
+		t.Fatalf("phase sizes %d/%d/%d", len(ph[0]), len(ph[1]), len(ph[2]))
+	}
+	if Phases(nil, ms(1)) != nil {
+		t.Fatal("empty trace should yield no phases")
+	}
+}
+
+// TestTraceAgreesWithMonitoring runs a real workload with both a tracer
+// and the pml counters and checks the trace folds back into the same
+// matrix — post-mortem and online views of the same traffic.
+func TestTraceAgreesWithMonitoring(t *testing.T) {
+	const np = 4
+	mach := netsim.PlaFRIM(1)
+	w, err := mpi.NewWorld(mach, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers := make([]*Tracer, np)
+	err = w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		tr := NewTracer(c.Rank())
+		tracers[c.Rank()] = tr
+		c.Proc().Monitor().SetRecorder(tr.Record)
+		next := (c.Rank() + 1) % np
+		if err := c.Send(next, 0, make([]byte, 100*(c.Rank()+1))); err != nil {
+			return err
+		}
+		if _, err := c.Recv((c.Rank()-1+np)%np, 0, nil); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Event
+	for _, tr := range tracers {
+		all = append(all, tr.Events()...)
+	}
+	fromTrace, err := Matrix(all, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the same matrix from the pml counters (p2p + coll).
+	fromCounters := make([]uint64, np*np)
+	for r := 0; r < np; r++ {
+		row := make([]uint64, np)
+		for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+			w.Proc(r).Monitor().Bytes(cl, row)
+			for j, v := range row {
+				fromCounters[r*np+j] += v
+			}
+		}
+	}
+	for i := range fromTrace {
+		if fromTrace[i] != fromCounters[i] {
+			t.Fatalf("trace and counters disagree at %d: %d vs %d", i, fromTrace[i], fromCounters[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package treematch implements the TreeMatch topology-aware process
+// placement algorithm (Jeannot, Mercier, Tessier, IEEE TPDS 2014) used by
+// the paper's rank-reordering optimization: given the affinity between
+// processes (a communication matrix, typically the bytes matrix gathered by
+// the monitoring library) and the tree topology of the machine, it computes
+// a mapping of processes onto cores that keeps heavily-communicating
+// processes close.
+//
+// Two algorithm variants are provided. MapTree is a top-down recursive
+// partitioning that handles arbitrary (including pruned/uneven) topology
+// trees and is the default. MapBalanced is the classic bottom-up k-ary
+// grouping for balanced trees, kept for comparison. The package also ships
+// the baseline placements the paper compares against (packed/"standard",
+// round-robin, random) and a placement cost evaluator.
+package treematch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one off-diagonal affinity of a sparse matrix row.
+type Entry struct {
+	Col int
+	W   float64
+}
+
+// Matrix is a symmetric process-affinity matrix stored sparsely: rows[i]
+// holds the nonzero affinities of process i, sorted by column. Build one
+// with NewMatrix/Add/Finish or FromBytesMatrix.
+type Matrix struct {
+	n        int
+	rows     [][]Entry
+	finished bool
+}
+
+// NewMatrix creates an empty n-process affinity matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, rows: make([][]Entry, n)}
+}
+
+// N returns the number of processes.
+func (m *Matrix) N() int { return m.n }
+
+// Add accumulates symmetric affinity w between processes i and j.
+// Self-affinities (i == j) are ignored: they cannot influence placement.
+func (m *Matrix) Add(i, j int, w float64) {
+	if i == j || w == 0 {
+		return
+	}
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("treematch: affinity (%d,%d) out of range for %d processes", i, j, m.n))
+	}
+	m.rows[i] = append(m.rows[i], Entry{Col: j, W: w})
+	m.rows[j] = append(m.rows[j], Entry{Col: i, W: w})
+	m.finished = false
+}
+
+// Finish sorts and merges duplicate entries; Map* call it implicitly.
+func (m *Matrix) Finish() {
+	if m.finished {
+		return
+	}
+	for i := range m.rows {
+		r := m.rows[i]
+		sort.Slice(r, func(a, b int) bool { return r[a].Col < r[b].Col })
+		out := r[:0]
+		for _, e := range r {
+			if len(out) > 0 && out[len(out)-1].Col == e.Col {
+				out[len(out)-1].W += e.W
+			} else {
+				out = append(out, e)
+			}
+		}
+		m.rows[i] = out
+	}
+	m.finished = true
+}
+
+// Row returns the (finished) sparse row of process i. The slice is shared;
+// callers must not modify it.
+func (m *Matrix) Row(i int) []Entry {
+	m.Finish()
+	return m.rows[i]
+}
+
+// Affinity returns the symmetric affinity between i and j.
+func (m *Matrix) Affinity(i, j int) float64 {
+	m.Finish()
+	r := m.rows[i]
+	k := sort.Search(len(r), func(k int) bool { return r[k].Col >= j })
+	if k < len(r) && r[k].Col == j {
+		return r[k].W
+	}
+	return 0
+}
+
+// Degree returns the number of distinct peers of process i.
+func (m *Matrix) Degree(i int) int {
+	m.Finish()
+	return len(m.rows[i])
+}
+
+// TotalWeight returns the sum of all symmetric affinities (each pair once).
+func (m *Matrix) TotalWeight() float64 {
+	m.Finish()
+	var s float64
+	for _, r := range m.rows {
+		for _, e := range r {
+			s += e.W
+		}
+	}
+	return s / 2
+}
+
+// FromBytesMatrix builds the affinity matrix from a row-major n-by-n
+// communication matrix as produced by the monitoring library's
+// AllgatherData/RootgatherData: the affinity between i and j is
+// mat[i*n+j] + mat[j*n+i] (bytes exchanged in both directions).
+func FromBytesMatrix(mat []uint64, n int) (*Matrix, error) {
+	if len(mat) != n*n {
+		return nil, fmt.Errorf("treematch: matrix of %d entries is not %d x %d", len(mat), n, n)
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(mat[i*n+j]) + float64(mat[j*n+i])
+			if w > 0 {
+				m.Add(i, j, w)
+			}
+		}
+	}
+	m.Finish()
+	return m, nil
+}
+
+// Dense returns the symmetric matrix densely (tests and small inputs only).
+func (m *Matrix) Dense() [][]float64 {
+	m.Finish()
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = make([]float64, m.n)
+		for _, e := range m.rows[i] {
+			out[i][e.Col] = e.W
+		}
+	}
+	return out
+}

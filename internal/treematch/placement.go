@@ -1,0 +1,54 @@
+package treematch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpimon/internal/topology"
+)
+
+// PlacementPacked returns the "standard" placement the paper uses when no
+// binding is requested: rank i on core i, filling nodes one after another.
+func PlacementPacked(np int) []int {
+	p := make([]int, np)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// PlacementRoundRobin spreads ranks across nodes: rank i runs on node
+// i mod numNodes, on that node's next free core. This is the paper's
+// round-robin (RR) initial mapping.
+func PlacementRoundRobin(np int, topo *topology.Topology) ([]int, error) {
+	nodes := topo.NumNodes()
+	per := topo.LeavesPerNode()
+	if np > topo.Leaves() {
+		return nil, fmt.Errorf("treematch: %d ranks exceed %d cores", np, topo.Leaves())
+	}
+	p := make([]int, np)
+	for i := 0; i < np; i++ {
+		node := i % nodes
+		slot := i / nodes
+		if slot >= per {
+			return nil, fmt.Errorf("treematch: round-robin overflow on node %d", node)
+		}
+		p[i] = node*per + slot
+	}
+	return p, nil
+}
+
+// PlacementRandom binds ranks to distinct random cores among the first
+// usable cores (the paper's random initial mapping). The set of candidate
+// cores is the nodes' worth of cores needed to host np ranks, i.e. the
+// same nodes the other placements would use.
+func PlacementRandom(np int, topo *topology.Topology, seed int64) ([]int, error) {
+	per := topo.LeavesPerNode()
+	nodesNeeded := (np + per - 1) / per
+	cores := nodesNeeded * per
+	if cores > topo.Leaves() {
+		return nil, fmt.Errorf("treematch: %d ranks need %d cores, machine has %d", np, cores, topo.Leaves())
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(cores)
+	return perm[:np], nil
+}

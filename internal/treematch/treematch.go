@@ -1,0 +1,462 @@
+package treematch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpimon/internal/topology"
+)
+
+// MapTree places the m.N() processes of the affinity matrix onto the leaves
+// of the topology tree, returning coreOf[process] = leaf id. The number of
+// processes must equal the number of leaves; to place fewer processes than
+// the machine has cores, first prune the topology with Topology.Restrict to
+// the occupied cores.
+//
+// The algorithm is recursive top-down partitioning: at each inner node the
+// processes are split into one part per child, sized by the child's leaf
+// capacity, greedily maximizing intra-part affinity. It handles uneven
+// (restricted) trees, which the classic bottom-up grouping does not.
+func MapTree(m *Matrix, root *topology.Tree) ([]int, error) {
+	if m.N() != root.Cap {
+		return nil, fmt.Errorf("treematch: %d processes for a tree of %d leaves (restrict the topology first)", m.N(), root.Cap)
+	}
+	m.Finish()
+	out := make([]int, m.N())
+	procs := make([]int, m.N())
+	for i := range procs {
+		procs[i] = i
+	}
+	assign(m, root, procs, out)
+	return out, nil
+}
+
+func assign(m *Matrix, node *topology.Tree, procs []int, out []int) {
+	if node.Children == nil {
+		out[procs[0]] = node.Leaf
+		return
+	}
+	caps := make([]int, len(node.Children))
+	for i, c := range node.Children {
+		caps[i] = c.Cap
+	}
+	parts := partition(m, procs, caps)
+	for i, c := range node.Children {
+		assign(m, c, parts[i], out)
+	}
+}
+
+// partition splits procs into len(caps) parts with |part[i]| = caps[i],
+// keeping high affinities inside parts: greedy graph growing (each part is
+// grown by the unassigned process maximizing affinity-to-part minus
+// affinity-to-outside, the GGGP criterion) followed by a bounded
+// Kernighan-Lin swap refinement between part pairs.
+func partition(m *Matrix, procs []int, caps []int) [][]int {
+	k := len(caps)
+	parts := make([][]int, k)
+	if k == 1 {
+		parts[0] = procs
+		return parts
+	}
+
+	inSet := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		inSet[p] = true
+	}
+	unassigned := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		unassigned[p] = true
+	}
+	// total[p] = affinity of p to the still-unassigned processes of this
+	// subproblem; maintained incrementally as processes are claimed.
+	total := make(map[int]float64, len(procs))
+	for _, p := range procs {
+		var s float64
+		for _, e := range m.Row(p) {
+			if inSet[e.Col] {
+				s += e.W
+			}
+		}
+		total[p] = s
+	}
+
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if caps[order[a]] != caps[order[b]] {
+			return caps[order[a]] > caps[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	claim := func(p int) {
+		delete(unassigned, p)
+		for _, e := range m.Row(p) {
+			if unassigned[e.Col] {
+				total[e.Col] -= e.W
+			}
+		}
+	}
+
+	for _, pi := range order {
+		want := caps[pi]
+		part := make([]int, 0, want)
+		// gain[p] = affinity of unassigned p to the current part.
+		gain := make(map[int]float64)
+
+		for len(part) < want {
+			best, found := -1, false
+			var bestScore, bestGain float64
+			for _, p := range procs {
+				if !unassigned[p] {
+					continue
+				}
+				g := gain[p]
+				// total[p] counts affinity to unassigned peers only,
+				// which is exactly the affinity at risk of being cut.
+				score := g - (total[p] - g)
+				if !found || score > bestScore || (score == bestScore && g > bestGain) ||
+					(score == bestScore && g == bestGain && p < best) {
+					best, bestScore, bestGain, found = p, score, g, true
+				}
+			}
+			claim(best)
+			part = append(part, best)
+			for _, e := range m.Row(best) {
+				if unassigned[e.Col] {
+					gain[e.Col] += e.W
+				}
+			}
+		}
+		parts[pi] = part
+	}
+
+	refineSwaps(m, parts)
+	for _, part := range parts {
+		sort.Ints(part)
+	}
+	return parts
+}
+
+// refineBudget bounds the pairwise swap work so huge instances (Table 1
+// scale) skip refinement rather than going quadratic.
+const refineBudget = 1 << 24
+
+// refineSwaps improves a capacity-respecting partition by repeatedly
+// applying the best single swap of two processes between two parts while it
+// reduces the cut (a bounded Kernighan-Lin pass per part pair).
+func refineSwaps(m *Matrix, parts [][]int) {
+	work := 0
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			work += len(parts[i]) * len(parts[j])
+		}
+	}
+	if work > refineBudget {
+		return
+	}
+	partOf := make(map[int]int)
+	for pi, part := range parts {
+		for _, p := range part {
+			partOf[p] = pi
+		}
+	}
+	// aff[p][pi] = affinity of p to part pi.
+	aff := make(map[int][]float64, len(partOf))
+	for p := range partOf {
+		row := make([]float64, len(parts))
+		for _, e := range m.Row(p) {
+			if pi, ok := partOf[e.Col]; ok {
+				row[pi] += e.W
+			}
+		}
+		aff[p] = row
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for ai := range parts {
+			for bi := ai + 1; bi < len(parts); bi++ {
+				for {
+					bestGain := 0.0
+					bestA, bestB := -1, -1
+					for _, a := range parts[ai] {
+						for _, b := range parts[bi] {
+							g := (aff[a][bi] - aff[a][ai]) + (aff[b][ai] - aff[b][bi]) - 2*m.Affinity(a, b)
+							if g > bestGain+1e-12 {
+								bestGain, bestA, bestB = g, a, b
+							}
+						}
+					}
+					if bestA < 0 {
+						break
+					}
+					swap(parts, partOf, aff, m, ai, bi, bestA, bestB)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// swap exchanges a (in part ai) and b (in part bi), updating partOf and the
+// incremental affinity table.
+func swap(parts [][]int, partOf map[int]int, aff map[int][]float64, m *Matrix, ai, bi, a, b int) {
+	replace := func(part []int, old, new int) {
+		for i, p := range part {
+			if p == old {
+				part[i] = new
+				return
+			}
+		}
+	}
+	replace(parts[ai], a, b)
+	replace(parts[bi], b, a)
+	partOf[a], partOf[b] = bi, ai
+	for _, e := range m.Row(a) {
+		if _, ok := partOf[e.Col]; ok && e.Col != b {
+			aff[e.Col][ai] -= e.W
+			aff[e.Col][bi] += e.W
+		}
+	}
+	for _, e := range m.Row(b) {
+		if _, ok := partOf[e.Col]; ok && e.Col != a {
+			aff[e.Col][bi] -= e.W
+			aff[e.Col][ai] += e.W
+		}
+	}
+}
+
+// MapBalanced is the classic bottom-up TreeMatch on a balanced topology:
+// processes are grouped by the deepest level's arity maximizing intra-group
+// affinity, groups become virtual processes with aggregated affinities, and
+// the procedure repeats up to the root. The matrix may have fewer processes
+// than the topology has leaves; missing slots are padded with zero-affinity
+// dummies (which can land on any core — use MapTree with a restricted tree
+// when specific cores must be avoided). Returns coreOf[process] = leaf.
+func MapBalanced(m *Matrix, topo *topology.Topology) ([]int, error) {
+	n := m.N()
+	leaves := topo.Leaves()
+	if n > leaves {
+		return nil, fmt.Errorf("treematch: %d processes exceed the %d leaves of the topology", n, leaves)
+	}
+	m.Finish()
+
+	// Current objects: each is a list of original processes (dummies are
+	// absent); aff is the aggregated affinity between objects, padded
+	// with zero-affinity dummy rows up to the leaf count.
+	objs := make([][]int, leaves)
+	for i := 0; i < leaves; i++ {
+		if i < n {
+			objs[i] = []int{i}
+		} else {
+			objs[i] = nil // dummy
+		}
+	}
+	aff := NewMatrix(leaves)
+	for i := 0; i < n; i++ {
+		for _, e := range m.Row(i) {
+			if e.Col > i {
+				aff.Add(i, e.Col, e.W)
+			}
+		}
+	}
+	aff.Finish()
+	arities := topo.Arities()
+
+	for depth := len(arities) - 1; depth >= 1; depth-- {
+		a := arities[depth]
+		groups := groupK(aff, len(objs), a)
+		newObjs := make([][]int, len(groups))
+		next := NewMatrix(len(groups))
+		// Aggregate affinities between groups.
+		groupOf := make([]int, len(objs))
+		for g, members := range groups {
+			for _, o := range members {
+				groupOf[o] = g
+			}
+		}
+		for i := 0; i < len(objs); i++ {
+			for _, e := range aff.Row(i) {
+				if e.Col > i && groupOf[i] != groupOf[e.Col] {
+					next.Add(groupOf[i], groupOf[e.Col], e.W)
+				}
+			}
+		}
+		for g, members := range groups {
+			var merged []int
+			for _, o := range members {
+				merged = append(merged, objs[o]...)
+			}
+			newObjs[g] = merged
+		}
+		objs = newObjs
+		aff = next
+		aff.Finish()
+	}
+
+	// Flatten: objs are ordered left-to-right under the root; each object
+	// occupies a block of leaves. Recover the per-process leaf from the
+	// order processes were merged in (grouping preserved child order).
+	coreOf := make([]int, n)
+	leaf := 0
+	blk := leaves
+	if len(objs) > 0 {
+		blk = leaves / len(objs)
+	}
+	for g, members := range objs {
+		leaf = g * blk
+		for _, p := range members {
+			coreOf[p] = leaf
+			leaf++
+		}
+	}
+	return coreOf, nil
+}
+
+// groupK partitions object ids 0..n-1 into n/k groups of k, greedily: each
+// group is seeded with the ungrouped object of largest remaining affinity
+// and grown by the ungrouped object with the highest affinity to the group.
+func groupK(m *Matrix, n, k int) [][]int {
+	if n%k != 0 {
+		panic(fmt.Sprintf("treematch: cannot group %d objects by %d", n, k))
+	}
+	ung := make([]bool, n)
+	for i := range ung {
+		ung[i] = true
+	}
+	total := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, e := range m.Row(i) {
+			total[i] += e.W
+		}
+	}
+	var groups [][]int
+	remaining := n
+	gain := make([]float64, n)
+	for remaining > 0 {
+		// Seed: ungrouped object with max total remaining affinity.
+		seed := -1
+		for i := 0; i < n; i++ {
+			if ung[i] && (seed == -1 || total[i] > total[seed]) {
+				seed = i
+			}
+		}
+		group := []int{seed}
+		ung[seed] = false
+		remaining--
+		for i := range gain {
+			gain[i] = 0
+		}
+		for _, e := range m.Row(seed) {
+			if ung[e.Col] {
+				gain[e.Col] += e.W
+			}
+		}
+		for len(group) < k {
+			best := -1
+			for i := 0; i < n; i++ {
+				if !ung[i] {
+					continue
+				}
+				if best == -1 || gain[i] > gain[best] ||
+					(gain[i] == gain[best] && total[i] > total[best]) {
+					best = i
+				}
+			}
+			group = append(group, best)
+			ung[best] = false
+			remaining--
+			for _, e := range m.Row(best) {
+				if ung[e.Col] {
+					gain[e.Col] += e.W
+				}
+			}
+		}
+		// Claimed objects no longer count in peers' remaining totals.
+		for _, g := range group {
+			for _, e := range m.Row(g) {
+				if ung[e.Col] {
+					total[e.Col] -= e.W
+				}
+			}
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// Cost evaluates a placement: the sum over communicating pairs of
+// affinity times topology distance between their cores. Lower is better;
+// it is the objective the paper's reordering minimizes.
+func Cost(m *Matrix, coreOf []int, topo *topology.Topology) float64 {
+	m.Finish()
+	var s float64
+	for i := 0; i < m.N(); i++ {
+		for _, e := range m.Row(i) {
+			if e.Col > i {
+				s += e.W * float64(topo.Distance(coreOf[i], coreOf[e.Col]))
+			}
+		}
+	}
+	return s
+}
+
+// OptimalMap finds the provably optimal placement by exhaustive search —
+// usable only for tiny instances (it explores n! permutations, capped at
+// n = 10). It is the oracle the greedy algorithms are tested against.
+func OptimalMap(m *Matrix, topo *topology.Topology) ([]int, float64, error) {
+	n := m.N()
+	if n > 10 {
+		return nil, 0, fmt.Errorf("treematch: exhaustive search infeasible for %d processes (max 10)", n)
+	}
+	if n > topo.Leaves() {
+		return nil, 0, fmt.Errorf("treematch: %d processes exceed %d leaves", n, topo.Leaves())
+	}
+	m.Finish()
+	// Search over placements onto the first n... no: onto any subset of
+	// leaves would explode; by symmetry of balanced trees, mapping onto
+	// any distinct leaves is covered by permutations over all leaves when
+	// n == leaves; for n < leaves, search assignments into all leaves
+	// with backtracking.
+	best := make([]int, n)
+	cur := make([]int, n)
+	used := make([]bool, topo.Leaves())
+	bestCost := math.Inf(1)
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if cost >= bestCost {
+			return
+		}
+		if i == n {
+			bestCost = cost
+			copy(best, cur)
+			return
+		}
+		for leaf := 0; leaf < topo.Leaves(); leaf++ {
+			if used[leaf] {
+				continue
+			}
+			add := 0.0
+			for _, e := range m.Row(i) {
+				if e.Col < i {
+					add += e.W * float64(topo.Distance(leaf, cur[e.Col]))
+				}
+			}
+			used[leaf] = true
+			cur[i] = leaf
+			rec(i+1, cost+add)
+			used[leaf] = false
+		}
+	}
+	rec(0, 0)
+	return best, bestCost, nil
+}

@@ -1,0 +1,122 @@
+// Package workloads generates synthetic communication patterns: affinity
+// matrices for exercising and benchmarking the TreeMatch placement
+// algorithm (the paper's Table 1 uses communication matrices of order up to
+// 65536, which this package synthesizes), and helpers shared by tests.
+package workloads
+
+import (
+	"math/rand"
+
+	"mpimon/internal/treematch"
+)
+
+// Ring returns the affinity matrix of a ring: each process exchanges w
+// bytes with its two neighbours.
+func Ring(n int, w float64) *treematch.Matrix {
+	m := treematch.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Add(i, (i+1)%n, w)
+	}
+	m.Finish()
+	return m
+}
+
+// Stencil2D returns the affinity of an nx-by-ny 2D grid with 4-point
+// stencil exchanges of w bytes (process i = x*ny + y).
+func Stencil2D(nx, ny int, w float64) *treematch.Matrix {
+	m := treematch.NewMatrix(nx * ny)
+	id := func(x, y int) int { return x*ny + y }
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if x+1 < nx {
+				m.Add(id(x, y), id(x+1, y), w)
+			}
+			if y+1 < ny {
+				m.Add(id(x, y), id(x, y+1), w)
+			}
+		}
+	}
+	m.Finish()
+	return m
+}
+
+// Clustered returns an affinity matrix of n processes organized in
+// consecutive clusters of the given size: every intra-cluster pair
+// exchanges intra bytes, and extraDegree random inter-cluster pairs per
+// process exchange inter bytes. It is the canonical workload where
+// placement matters: the optimum co-locates each cluster.
+func Clustered(n, clusterSize int, intra, inter float64, extraDegree int, seed int64) *treematch.Matrix {
+	m := treematch.NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c*clusterSize < n; c++ {
+		lo := c * clusterSize
+		hi := lo + clusterSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				m.Add(i, j, intra)
+			}
+		}
+	}
+	if inter > 0 && extraDegree > 0 {
+		for i := 0; i < n; i++ {
+			for d := 0; d < extraDegree; d++ {
+				j := rng.Intn(n)
+				if j/clusterSize != i/clusterSize {
+					m.Add(i, j, inter)
+				}
+			}
+		}
+	}
+	m.Finish()
+	return m
+}
+
+// ClusteredSparse is Clustered with sparse intra-cluster structure (a ring
+// plus a few chords per cluster instead of a clique), suitable for very
+// large orders where a clique would be quadratic in the cluster size.
+func ClusteredSparse(n, clusterSize int, intra, inter float64, seed int64) *treematch.Matrix {
+	m := treematch.NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c*clusterSize < n; c++ {
+		lo := c * clusterSize
+		hi := lo + clusterSize
+		if hi > n {
+			hi = n
+		}
+		sz := hi - lo
+		for i := 0; i < sz; i++ {
+			m.Add(lo+i, lo+(i+1)%sz, intra)
+			if sz > 4 {
+				m.Add(lo+i, lo+(i+sz/2)%sz, intra/2)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		if j/clusterSize != i/clusterSize && j != i {
+			m.Add(i, j, inter)
+		}
+	}
+	m.Finish()
+	return m
+}
+
+// RandomSparse returns a random symmetric matrix with roughly degree
+// nonzero affinities per process, uniform weights in (0, maxW].
+func RandomSparse(n, degree int, maxW float64, seed int64) *treematch.Matrix {
+	m := treematch.NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			j := rng.Intn(n)
+			if j != i {
+				m.Add(i, j, rng.Float64()*maxW)
+			}
+		}
+	}
+	m.Finish()
+	return m
+}

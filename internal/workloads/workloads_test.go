@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpimon/internal/topology"
+	"mpimon/internal/treematch"
+)
+
+func TestRing(t *testing.T) {
+	m := Ring(5, 10)
+	if m.Affinity(0, 1) != 10 || m.Affinity(4, 0) != 10 {
+		t.Fatal("ring edges missing")
+	}
+	if m.Affinity(0, 2) != 0 {
+		t.Fatal("ring has spurious edges")
+	}
+	if m.TotalWeight() != 50 {
+		t.Fatalf("TotalWeight = %v, want 50", m.TotalWeight())
+	}
+}
+
+func TestStencil2D(t *testing.T) {
+	m := Stencil2D(3, 3, 1)
+	// Interior point 4 = (1,1) has 4 neighbours: 1, 3, 5, 7.
+	for _, nb := range []int{1, 3, 5, 7} {
+		if m.Affinity(4, nb) != 1 {
+			t.Fatalf("stencil missing edge 4-%d", nb)
+		}
+	}
+	if m.Affinity(4, 0) != 0 {
+		t.Fatal("stencil has a diagonal edge")
+	}
+	// 2*nx*ny - nx - ny edges in a grid.
+	if got, want := m.TotalWeight(), float64(2*3*3-3-3); got != want {
+		t.Fatalf("edge count %v, want %v", got, want)
+	}
+}
+
+func TestClustered(t *testing.T) {
+	m := Clustered(8, 4, 100, 1, 1, 42)
+	if m.Affinity(0, 1) != 100 || m.Affinity(4, 7) != 100 {
+		t.Fatal("intra-cluster affinity missing")
+	}
+	// Placement quality: TreeMatch on a 2x4 machine must co-locate the
+	// clusters and beat round-robin.
+	topo := topology.MustNew(2, 4)
+	tm, err := treematch.MapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := treematch.PlacementRoundRobin(8, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treematch.Cost(m, tm, topo) >= treematch.Cost(m, rr, topo) {
+		t.Fatal("clustered workload: TreeMatch no better than round-robin")
+	}
+}
+
+func TestClusteredSparse(t *testing.T) {
+	const n, cs = 1024, 32
+	m := ClusteredSparse(n, cs, 100, 1, 7)
+	if m.N() != n {
+		t.Fatalf("N = %d", m.N())
+	}
+	// Ring edge inside a cluster.
+	if m.Affinity(0, 1) < 100 {
+		t.Fatal("sparse cluster ring missing")
+	}
+	// Sparsity: average degree far below cluster size.
+	totalDeg := 0
+	for i := 0; i < n; i++ {
+		totalDeg += m.Degree(i)
+	}
+	if avg := float64(totalDeg) / n; avg > 8 {
+		t.Fatalf("average degree %v too high for a sparse workload", avg)
+	}
+}
+
+func TestRandomSparseDeterministic(t *testing.T) {
+	a := RandomSparse(64, 3, 10, 5)
+	b := RandomSparse(64, 3, 10, 5)
+	for i := 0; i < 64; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		if len(ra) != len(rb) {
+			t.Fatalf("row %d differs between equal seeds", i)
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				t.Fatalf("row %d entry %d differs", i, k)
+			}
+		}
+	}
+	c := RandomSparse(64, 3, 10, 6)
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		ra, rc := a.Row(i), c.Row(i)
+		if len(ra) != len(rc) {
+			same = false
+			break
+		}
+		for k := range ra {
+			if ra[k] != rc[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
