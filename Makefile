@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector over the packages the telemetry layer
+# instruments: the hot paths touched by span/metric recording.
+race:
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring
+
+# ci is the gate for a change: static checks, full build, the whole test
+# suite, and the race tier on the instrumented packages.
+ci: vet build test race

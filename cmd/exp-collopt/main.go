@@ -17,7 +17,9 @@ func main() {
 	nps := flag.String("np", "48,96,192", "world sizes")
 	sizes := flag.String("sizes", "1000,2000,5000,10000,20000,50000,100000,200000", "buffer sizes in 1000-int units")
 	reps := flag.Int("reps", 3, "repetitions (median reported)")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	cfg := exp.DefaultCollOpt
 	cfg.Op = *op
@@ -36,4 +38,8 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintCollOpt(os.Stdout, rows)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-collopt:", err)
+		os.Exit(1)
+	}
 }

@@ -18,7 +18,9 @@ func main() {
 	flag.DurationVar(&cfg.Period, "period", cfg.Period, "sampling period")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "message schedule seed")
 	cumulative := flag.Bool("cumulative", false, "print Fig. 3 running sums instead of the Fig. 2 series")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	res, err := exp.HWCounters(cfg)
 	if err != nil {
@@ -26,4 +28,8 @@ func main() {
 		os.Exit(1)
 	}
 	res.PrintSeries(os.Stdout, *cumulative)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-hwcounters:", err)
+		os.Exit(1)
+	}
 }

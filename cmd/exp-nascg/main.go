@@ -18,7 +18,9 @@ func main() {
 	mappings := flag.String("mappings", "random,rr,standard", "initial mappings")
 	niter := flag.Int("niter", 5, "outer iterations (0 = class default)")
 	seed := flag.Int64("seed", 42, "random-mapping seed")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	cfg := exp.CGConfig{
 		Classes:  exp.ParseStrings(*classes),
@@ -37,4 +39,8 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintCG(os.Stdout, rows)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
+		os.Exit(1)
+	}
 }

@@ -15,7 +15,10 @@ func main() {
 	nps := flag.String("np", "48,96,192", "world sizes")
 	sizes := flag.String("sizes", "1,4,16,64,256,1024,4096,10000", "message sizes in bytes")
 	reps := flag.Int("reps", 180, "measurements per configuration")
+	self := flag.Bool("self", false, "benchmark the telemetry subsystem itself instead of the monitoring layer (uses the first -np and -sizes values)")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	cfg := exp.DefaultOverhead
 	cfg.Reps = *reps
@@ -27,10 +30,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
 		os.Exit(1)
 	}
+	if *self {
+		tc := exp.TelemetryOverheadConfig{NP: cfg.NPs[0], Size: cfg.Sizes[0], Reps: cfg.Reps}
+		res, err := exp.TelemetryOverhead(tc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+			os.Exit(1)
+		}
+		exp.PrintTelemetryOverhead(os.Stdout, tc, res)
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rows, err := exp.Overhead(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
 		os.Exit(1)
 	}
 	exp.PrintOverhead(os.Stdout, rows)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+		os.Exit(1)
+	}
 }

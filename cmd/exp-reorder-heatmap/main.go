@@ -20,7 +20,9 @@ func main() {
 	// to keep the run in minutes (pass -iters 1,10,100,1000,10000 for the
 	// full grid).
 	iters := flag.String("iters", "1,10,100,1000", "iteration counts")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	var cfg exp.HeatmapConfig
 	var err error
@@ -40,7 +42,11 @@ func main() {
 	}
 	if *ascii {
 		exp.RenderHeatmap(os.Stdout, cells)
-		return
+	} else {
+		exp.PrintHeatmap(os.Stdout, cells)
 	}
-	exp.PrintHeatmap(os.Stdout, cells)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)
+		os.Exit(1)
+	}
 }

@@ -13,7 +13,9 @@ import (
 
 func main() {
 	orders := flag.String("orders", "8192,16384,32768,65536", "matrix orders")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
 
 	cfg := exp.DefaultTMScale
 	var err error
@@ -27,4 +29,8 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintTMScale(os.Stdout, rows)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
 }

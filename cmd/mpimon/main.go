@@ -9,12 +9,22 @@
 //
 // Workloads: ring (neighbour ring), stencil (2D halo exchange), groups
 // (block allgather groups), bcast, reduce, cg (NAS CG skeleton, class -class).
+//
+// Observability: -telemetry FILE writes the run's span tree as a Chrome
+// trace-event file (or CSV when FILE ends in .csv), -serve ADDR exposes the
+// run's metrics in Prometheus text format at ADDR/metrics after the
+// workload completes, and -json replaces the human-readable report with a
+// JSON document carrying the matrix and its matstat analysis.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"mpimon/internal/cg"
 	"mpimon/internal/matstat"
@@ -22,72 +32,204 @@ import (
 	"mpimon/internal/mpi"
 	"mpimon/internal/netsim"
 	"mpimon/internal/reorder"
+	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
 	"mpimon/internal/trace"
 	"mpimon/internal/treematch"
 )
 
+// config carries every knob of one mpimon invocation; the tests drive run
+// and execute through it directly.
+type config struct {
+	workload  string
+	np        int
+	topoSpec  string
+	placement string
+	iters     int
+	bytes     int
+	class     string
+	reorder   bool
+	matrix    bool
+	analyze   bool
+	jsonOut   bool
+	traceFile string
+	telemetry string
+	serve     string
+	seed      int64
+	stdout    io.Writer // defaults to os.Stdout
+}
+
 func main() {
-	var (
-		workload  = flag.String("workload", "groups", "ring | stencil | groups | bcast | reduce | cg")
-		np        = flag.Int("np", 48, "number of ranks")
-		topoSpec  = flag.String("topo", "", "topology spec (e.g. 2x2x12); default: enough PlaFRIM nodes")
-		placement = flag.String("placement", "rr", "initial mapping: rr | packed | random")
-		iters     = flag.Int("iters", 10, "iterations of the workload")
-		bytes     = flag.Int("bytes", 1<<16, "per-message payload bytes")
-		class     = flag.String("class", "B", "NPB class for -workload cg")
-		doReorder = flag.Bool("reorder", false, "apply dynamic rank reordering after one monitored iteration")
-		dump      = flag.Bool("matrix", false, "print the full communication matrix")
-		analyze   = flag.Bool("analyze", false, "print matrix statistics (volume, locality, top pairs)")
-		traceFile = flag.String("trace", "", "write a merged post-mortem event trace to this file")
-		seed      = flag.Int64("seed", 1, "random placement seed")
-	)
+	var cfg config
+	flag.StringVar(&cfg.workload, "workload", "groups", "ring | stencil | groups | bcast | reduce | cg")
+	flag.IntVar(&cfg.np, "np", 48, "number of ranks")
+	flag.StringVar(&cfg.topoSpec, "topo", "", "topology spec (e.g. 2x2x12); default: enough PlaFRIM nodes")
+	flag.StringVar(&cfg.placement, "placement", "rr", "initial mapping: rr | packed | random")
+	flag.IntVar(&cfg.iters, "iters", 10, "iterations of the workload")
+	flag.IntVar(&cfg.bytes, "bytes", 1<<16, "per-message payload bytes")
+	flag.StringVar(&cfg.class, "class", "B", "NPB class for -workload cg")
+	flag.BoolVar(&cfg.reorder, "reorder", false, "apply dynamic rank reordering after one monitored iteration")
+	flag.BoolVar(&cfg.matrix, "matrix", false, "print the full communication matrix")
+	flag.BoolVar(&cfg.analyze, "analyze", false, "print matrix statistics (volume, locality, top pairs)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report (matrix + analysis included) as JSON")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write a merged post-mortem event trace to this file")
+	flag.StringVar(&cfg.telemetry, "telemetry", "", "write the telemetry span tree to this file (.csv for CSV, Chrome trace JSON otherwise)")
+	flag.StringVar(&cfg.serve, "serve", "", "after the run, serve Prometheus metrics on this address (e.g. :9464)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random placement seed")
 	flag.Parse()
-	if err := run(*workload, *np, *topoSpec, *placement, *iters, *bytes, *class, *doReorder, *dump, *analyze, *traceFile, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpimon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, np int, topoSpec, placement string, iters, bytes int, class string, doReorder, dump, analyze bool, traceFile string, seed int64) error {
-	var mach *netsim.Machine
-	if topoSpec == "" {
-		mach = netsim.PlaFRIM((np + 23) / 24)
-	} else {
-		topo, err := topology.Parse(topoSpec)
-		if err != nil {
+// report is what one run produces; with -json it is marshalled verbatim.
+type report struct {
+	Workload  string  `json:"workload"`
+	NP        int     `json:"np"`
+	Topology  string  `json:"topology"`
+	Placement string  `json:"placement"`
+	Iters     int     `json:"iters"`
+	BaseNs    int64   `json:"baseline_ns"`
+	Messages  uint64  `json:"messages"`
+	Bytes     uint64  `json:"bytes"`
+	Matrix    []uint64 `json:"matrix,omitempty"` // row-major bytes, n-by-n
+	Analysis  *analysis `json:"analysis,omitempty"`
+	ReorderNs int64    `json:"reordered_ns,omitempty"`
+	GainPct   float64  `json:"gain_percent,omitempty"`
+	K         []int    `json:"k,omitempty"`
+}
+
+// analysis is the matstat view of the gathered matrix.
+type analysis struct {
+	TotalBytes   uint64         `json:"total_bytes"`
+	NonzeroPairs int            `json:"nonzero_pairs"`
+	AvgDegree    float64        `json:"avg_degree"`
+	Imbalance    float64        `json:"imbalance"`
+	NodeFraction float64        `json:"node_fraction"`
+	TopPairs     []matstat.Pair `json:"top_pairs"`
+}
+
+func run(cfg config) error {
+	if cfg.stdout == nil {
+		cfg.stdout = os.Stdout
+	}
+	rep, tel, err := execute(&cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(cfg.stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			return err
+		}
+	}
+	if cfg.telemetry != "" {
+		if err := writeTelemetry(cfg.telemetry, tel); err != nil {
+			return err
+		}
+	}
+	if cfg.serve != "" {
+		fmt.Fprintf(cfg.stdout, "serving Prometheus metrics on %s/metrics\n", cfg.serve)
+		return http.ListenAndServe(cfg.serve, metricsHandler(tel.Registry()))
+	}
+	return nil
+}
+
+// metricsHandler serves the registry in Prometheus text exposition format
+// at /metrics (and the root, for convenience).
+func metricsHandler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	h := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/metrics", h)
+	mux.HandleFunc("/", h)
+	return mux
+}
+
+// writeTelemetry exports the span tree, picking the format by extension.
+func writeTelemetry(path string, tel *telemetry.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = telemetry.WriteCSV(f, tel.Spans())
+	} else {
+		err = telemetry.WriteChromeTrace(f, tel.Spans())
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// execute builds the world, runs the workload under monitoring (and
+// reordering when asked) and returns the collected report plus the
+// telemetry hub (always non-nil; empty when neither -telemetry nor -serve
+// asked for instrumentation but kept to keep the flow uniform).
+func execute(cfg *config) (*report, *telemetry.Telemetry, error) {
+	var mach *netsim.Machine
+	if cfg.topoSpec == "" {
+		mach = netsim.PlaFRIM((cfg.np + 23) / 24)
+	} else {
+		topo, err := topology.Parse(cfg.topoSpec)
+		if err != nil {
+			return nil, nil, err
 		}
 		mach = netsim.Generic(topo)
 	}
 	var place []int
 	var err error
-	switch placement {
+	switch cfg.placement {
 	case "rr":
-		place, err = treematch.PlacementRoundRobin(np, mach.Topo)
+		place, err = treematch.PlacementRoundRobin(cfg.np, mach.Topo)
 	case "packed", "standard":
-		place = treematch.PlacementPacked(np)
+		place = treematch.PlacementPacked(cfg.np)
 	case "random":
-		place, err = treematch.PlacementRandom(np, mach.Topo, seed)
+		place, err = treematch.PlacementRandom(cfg.np, mach.Topo, cfg.seed)
 	default:
-		err = fmt.Errorf("unknown placement %q", placement)
+		err = fmt.Errorf("unknown placement %q", cfg.placement)
 	}
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 
-	phase, err := makePhase(workload, np, bytes, class)
+	phase, err := makePhase(cfg.workload, cfg.np, cfg.bytes, cfg.class)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 
-	w, err := mpi.NewWorld(mach, np, mpi.WithPlacement(place))
+	tel := telemetry.New()
+	opts := []mpi.Option{mpi.WithPlacement(place)}
+	if cfg.telemetry != "" || cfg.serve != "" {
+		opts = append(opts, mpi.WithTelemetry(tel))
+	}
+	w, err := mpi.NewWorld(mach, cfg.np, opts...)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	fmt.Printf("workload=%s np=%d topo=%s placement=%s iters=%d\n", workload, np, mach.Topo, placement, iters)
+	quiet := cfg.jsonOut
+	out := cfg.stdout
+	if !quiet {
+		fmt.Fprintf(out, "workload=%s np=%d topo=%s placement=%s iters=%d\n",
+			cfg.workload, cfg.np, mach.Topo, cfg.placement, cfg.iters)
+	}
 
-	tracers := make([]*trace.Tracer, np)
+	rep := &report{
+		Workload:  cfg.workload,
+		NP:        cfg.np,
+		Topology:  mach.Topo.String(),
+		Placement: cfg.placement,
+		Iters:     cfg.iters,
+	}
+	tracers := make([]*trace.Tracer, cfg.np)
 	err = w.Run(func(c *mpi.Comm) error {
 		env, err := monitoring.Init(c.Proc())
 		if err != nil {
@@ -95,10 +237,10 @@ func run(workload string, np int, topoSpec, placement string, iters, bytes int, 
 		}
 		defer env.Finalize()
 		p := c.Proc()
-		if traceFile != "" {
+		if cfg.traceFile != "" {
 			tr := trace.NewTracer(c.Rank())
 			tracers[c.Rank()] = tr
-			p.Monitor().SetRecorder(tr.Record)
+			p.Monitor().AddRecorder(tr.Record)
 		}
 
 		// Monitored baseline phase.
@@ -107,7 +249,7 @@ func run(workload string, np int, topoSpec, placement string, iters, bytes int, 
 			return err
 		}
 		t0 := p.Clock()
-		for i := 0; i < iters; i++ {
+		for i := 0; i < cfg.iters; i++ {
 			if err := phase(c); err != nil {
 				return err
 			}
@@ -129,19 +271,32 @@ func run(workload string, np int, topoSpec, placement string, iters, bytes int, 
 				msgs += matC[i]
 				vol += matB[i]
 			}
-			fmt.Printf("baseline: %v for %d iterations; %d messages, %.1f MB monitored\n",
-				baseline, iters, msgs, float64(vol)/1e6)
-			if dump {
-				printMatrix(matB, np)
+			rep.BaseNs = int64(baseline)
+			rep.Messages = msgs
+			rep.Bytes = vol
+			if !quiet {
+				fmt.Fprintf(out, "baseline: %v for %d iterations; %d messages, %.1f MB monitored\n",
+					baseline, cfg.iters, msgs, float64(vol)/1e6)
 			}
-			if analyze {
-				if err := printAnalysis(matB, np, mach, place); err != nil {
+			if cfg.matrix || cfg.jsonOut {
+				rep.Matrix = matB
+				if !quiet {
+					printMatrix(out, matB, cfg.np)
+				}
+			}
+			if cfg.analyze || cfg.jsonOut {
+				a, err := analyzeMatrix(matB, cfg.np, mach, place)
+				if err != nil {
 					return err
+				}
+				rep.Analysis = a
+				if !quiet {
+					printAnalysis(out, a)
 				}
 			}
 		}
 
-		if !doReorder {
+		if !cfg.reorder {
 			return s.Free()
 		}
 		opt, k, err := reorder.Reorder(s, nil)
@@ -152,7 +307,7 @@ func run(workload string, np int, topoSpec, placement string, iters, bytes int, 
 			return err
 		}
 		t0 = p.Clock()
-		for i := 0; i < iters; i++ {
+		for i := 0; i < cfg.iters; i++ {
 			if err := phase(opt); err != nil {
 				return err
 			}
@@ -162,35 +317,42 @@ func run(workload string, np int, topoSpec, placement string, iters, bytes int, 
 		}
 		after := p.Clock() - t0
 		if c.Rank() == 0 {
-			fmt.Printf("reordered: %v for %d iterations (gain %.1f%%); k[0:8]=%v\n",
-				after, iters, 100*float64(baseline-after)/float64(baseline), k[:min(8, len(k))])
+			rep.ReorderNs = int64(after)
+			rep.GainPct = 100 * float64(baseline-after) / float64(baseline)
+			rep.K = k
+			if !quiet {
+				fmt.Fprintf(out, "reordered: %v for %d iterations (gain %.1f%%); k[0:8]=%v\n",
+					after, cfg.iters, rep.GainPct, k[:min(8, len(k))])
+			}
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if traceFile != "" {
+	if cfg.traceFile != "" {
 		var all []trace.Event
 		for _, tr := range tracers {
 			if tr != nil {
 				all = append(all, tr.Events()...)
 			}
 		}
-		f, err := os.Create(traceFile)
+		f, err := os.Create(cfg.traceFile)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		if err := trace.Write(f, trace.Merge(all)); err != nil {
 			f.Close()
-			return err
+			return nil, nil, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return nil, nil, err
 		}
-		fmt.Printf("trace: %d events written to %s\n", len(all), traceFile)
+		if !quiet {
+			fmt.Fprintf(out, "trace: %d events written to %s\n", len(all), cfg.traceFile)
+		}
 	}
-	return nil
+	return rep, tel, nil
 }
 
 func makePhase(workload string, np, bytes int, class string) (func(*mpi.Comm) error, error) {
@@ -258,39 +420,49 @@ func makePhase(workload string, np, bytes int, class string) (func(*mpi.Comm) er
 	}
 }
 
-func printAnalysis(mat []uint64, n int, mach *netsim.Machine, place []int) error {
+func analyzeMatrix(mat []uint64, n int, mach *netsim.Machine, place []int) (*analysis, error) {
 	sum, err := matstat.Summarize(mat, n)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	loc, err := matstat.ComputeLocality(mat, n, mach.Topo, place)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pairs, err := matstat.TopPairs(mat, n, 5)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("analysis: %.1f MB over %d pairs, avg degree %.1f, sender imbalance %.2f\n",
-		float64(sum.Total)/1e6, sum.NonzeroPairs, sum.AvgDegree, sum.Imbalance())
-	fmt.Printf("analysis: %.1f%% of traffic stays within a node under this placement\n",
-		100*loc.NodeFraction())
-	fmt.Println("analysis: heaviest pairs:")
-	for _, p := range pairs {
-		fmt.Printf("  %3d -> %3d : %.2f MB\n", p.Src, p.Dst, float64(p.Bytes)/1e6)
-	}
-	return nil
+	return &analysis{
+		TotalBytes:   sum.Total,
+		NonzeroPairs: sum.NonzeroPairs,
+		AvgDegree:    sum.AvgDegree,
+		Imbalance:    sum.Imbalance(),
+		NodeFraction: loc.NodeFraction(),
+		TopPairs:     pairs,
+	}, nil
 }
 
-func printMatrix(mat []uint64, n int) {
-	fmt.Println("# bytes matrix (row = sender):")
+func printAnalysis(w io.Writer, a *analysis) {
+	fmt.Fprintf(w, "analysis: %.1f MB over %d pairs, avg degree %.1f, sender imbalance %.2f\n",
+		float64(a.TotalBytes)/1e6, a.NonzeroPairs, a.AvgDegree, a.Imbalance)
+	fmt.Fprintf(w, "analysis: %.1f%% of traffic stays within a node under this placement\n",
+		100*a.NodeFraction)
+	fmt.Fprintln(w, "analysis: heaviest pairs:")
+	for _, p := range a.TopPairs {
+		fmt.Fprintf(w, "  %3d -> %3d : %.2f MB\n", p.Src, p.Dst, float64(p.Bytes)/1e6)
+	}
+}
+
+func printMatrix(w io.Writer, mat []uint64, n int) {
+	fmt.Fprintln(w, "# bytes matrix (row = sender):")
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if j > 0 {
-				fmt.Print(" ")
+				fmt.Fprint(w, " ")
 			}
-			fmt.Print(mat[i*n+j])
+			fmt.Fprint(w, mat[i*n+j])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

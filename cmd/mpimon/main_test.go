@@ -1,37 +1,71 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
+// cfg builds the test baseline configuration, discarding output.
+func cfg(workload string, np int, mutate func(*config)) config {
+	c := config{
+		workload:  workload,
+		np:        np,
+		placement: "rr",
+		iters:     2,
+		bytes:     1024,
+		class:     "B",
+		seed:      1,
+		stdout:    new(bytes.Buffer),
+	}
+	if mutate != nil {
+		mutate(&c)
+	}
+	return c
+}
+
 func TestRunWorkloads(t *testing.T) {
 	for _, wl := range []string{"ring", "stencil", "groups", "bcast", "reduce"} {
-		if err := run(wl, 16, "", "rr", 2, 1024, "B", false, false, false, "", 1); err != nil {
+		if err := run(cfg(wl, 16, nil)); err != nil {
 			t.Fatalf("workload %s: %v", wl, err)
 		}
 	}
 }
 
 func TestRunCGWorkload(t *testing.T) {
-	if err := run("cg", 16, "", "packed", 1, 0, "S", false, false, false, "", 1); err != nil {
+	if err := run(cfg("cg", 16, func(c *config) { c.placement = "packed"; c.iters = 1; c.bytes = 0; c.class = "S" })); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cg", 16, "", "packed", 1, 0, "Z", false, false, false, "", 1); err == nil {
+	if err := run(cfg("cg", 16, func(c *config) { c.placement = "packed"; c.iters = 1; c.bytes = 0; c.class = "Z" })); err == nil {
 		t.Fatal("unknown CG class should fail")
 	}
 }
 
 func TestRunWithReorderAndAnalysis(t *testing.T) {
-	if err := run("groups", 24, "", "rr", 3, 65536, "B", true, true, true, "", 1); err != nil {
+	if err := run(cfg("groups", 24, func(c *config) {
+		c.iters = 3
+		c.bytes = 65536
+		c.reorder = true
+		c.matrix = true
+		c.analyze = true
+	})); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCustomTopologyAndTrace(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "out.trace")
-	if err := run("ring", 8, "2x2x2", "random", 2, 512, "B", false, false, false, traceFile, 7); err != nil {
+	if err := run(cfg("ring", 8, func(c *config) {
+		c.topoSpec = "2x2x2"
+		c.placement = "random"
+		c.bytes = 512
+		c.traceFile = traceFile
+		c.seed = 7
+	})); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(traceFile)
@@ -41,16 +75,196 @@ func TestRunCustomTopologyAndTrace(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("nope", 4, "", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+	if err := run(cfg("nope", 4, func(c *config) { c.iters = 1; c.bytes = 1 })); err == nil {
 		t.Fatal("unknown workload should fail")
 	}
-	if err := run("ring", 4, "", "diagonal", 1, 1, "B", false, false, false, "", 1); err == nil {
+	if err := run(cfg("ring", 4, func(c *config) { c.placement = "diagonal"; c.iters = 1; c.bytes = 1 })); err == nil {
 		t.Fatal("unknown placement should fail")
 	}
-	if err := run("ring", 4, "bogus", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+	if err := run(cfg("ring", 4, func(c *config) { c.topoSpec = "bogus"; c.iters = 1; c.bytes = 1 })); err == nil {
 		t.Fatal("bad topology spec should fail")
 	}
-	if err := run("ring", 500, "2x2x2", "rr", 1, 1, "B", false, false, false, "", 1); err == nil {
+	if err := run(cfg("ring", 500, func(c *config) { c.topoSpec = "2x2x2"; c.iters = 1; c.bytes = 1 })); err == nil {
 		t.Fatal("too many ranks should fail")
+	}
+}
+
+// TestRunJSON checks the -json report: a valid document carrying the full
+// matrix and the matstat analysis, with internally consistent totals.
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := cfg("ring", 8, func(c *config) { c.jsonOut = true })
+	c.stdout = &buf
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Workload != "ring" || rep.NP != 8 || rep.Iters != 2 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Matrix) != 8*8 {
+		t.Fatalf("matrix has %d entries, want 64", len(rep.Matrix))
+	}
+	if rep.Analysis == nil {
+		t.Fatal("analysis missing from JSON report")
+	}
+	var total uint64
+	for _, v := range rep.Matrix {
+		total += v
+	}
+	if total != rep.Bytes || rep.Analysis.TotalBytes != total {
+		t.Fatalf("totals disagree: matrix %d, report %d, analysis %d",
+			total, rep.Bytes, rep.Analysis.TotalBytes)
+	}
+	if rep.Messages == 0 || rep.BaseNs <= 0 {
+		t.Fatalf("empty run in report: %+v", rep)
+	}
+	// Human-readable noise must not precede the document.
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "{") {
+		t.Fatalf("JSON output polluted: %q", buf.String()[:40])
+	}
+}
+
+// TestRunJSONWithReorder covers the reorder fields of the JSON report.
+func TestRunJSONWithReorder(t *testing.T) {
+	var buf bytes.Buffer
+	c := cfg("groups", 24, func(c *config) { c.jsonOut = true; c.reorder = true; c.iters = 3; c.bytes = 1 << 16 })
+	c.stdout = &buf
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReorderNs <= 0 || len(rep.K) != 24 {
+		t.Fatalf("reorder fields missing: reordered_ns=%d len(k)=%d", rep.ReorderNs, len(rep.K))
+	}
+}
+
+// TestTelemetryChromeTrace is the acceptance scenario: a groups run with
+// reordering and -telemetry must produce a valid Chrome trace with at least
+// one collective span that has child message spans.
+func TestTelemetryChromeTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run(cfg("groups", 24, func(c *config) {
+		c.reorder = true
+		c.telemetry = out
+		c.iters = 3
+		c.bytes = 1 << 14
+	})); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Args struct {
+				ID     uint64 `json:"id"`
+				Parent uint64 `json:"parent"`
+				Kind   string `json:"kind"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not a valid Chrome trace: %v", err)
+	}
+	collectives := make(map[uint64]string)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Args.Kind == "collective" {
+			collectives[e.Args.ID] = e.Name
+		}
+	}
+	if len(collectives) == 0 {
+		t.Fatal("no collective spans in trace")
+	}
+	children := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Args.Kind == "message" {
+			if _, ok := collectives[e.Args.Parent]; ok {
+				children++
+			}
+		}
+	}
+	if children == 0 {
+		t.Fatal("no message span is a child of a collective span")
+	}
+}
+
+// TestTelemetryCSV checks the extension-switched CSV exporter path.
+func TestTelemetryCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run(cfg("ring", 8, func(c *config) { c.telemetry = out })); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,parent,rank,kind,name") {
+		t.Fatalf("CSV header wrong: %q", lines[0])
+	}
+}
+
+// TestPrometheusMatchesMatrix verifies the acceptance criterion that the
+// Prometheus counters agree with the monitoring matrix totals: for a
+// non-reordered run the session covers all traffic and the library's own
+// gathers are suppressed for both views.
+func TestPrometheusMatchesMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	c := cfg("groups", 24, func(c *config) {
+		c.jsonOut = true
+		c.serve = "ignored" // enable telemetry without binding a port
+		c.iters = 3
+		c.bytes = 1 << 14
+	})
+	c.stdout = &buf
+	rep, tel, err := execute(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matrixBytes uint64
+	for _, v := range rep.Matrix {
+		matrixBytes += v
+	}
+	reg := tel.Registry()
+	if got := reg.CounterTotal("mpimon_bytes_total"); got != matrixBytes {
+		t.Fatalf("Prometheus bytes %d != matrix bytes %d", got, matrixBytes)
+	}
+	if got := reg.CounterTotal("mpimon_messages_total"); got != rep.Messages {
+		t.Fatalf("Prometheus messages %d != monitored messages %d", got, rep.Messages)
+	}
+
+	// And the HTTP endpoint serves those counters in exposition format.
+	srv := httptest.NewServer(metricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, family := range []string{"mpimon_messages_total", "mpimon_bytes_total", "mpimon_message_size_bytes"} {
+		if !strings.Contains(text, "# TYPE "+family) {
+			t.Fatalf("exposition lacks %s:\n%s", family, text[:min(400, len(text))])
+		}
 	}
 }

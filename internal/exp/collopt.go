@@ -88,7 +88,7 @@ func collTime(op string, np, bytes, reps int, withReorder bool) (time.Duration, 
 	if err != nil {
 		return 0, err
 	}
-	w, err := mpi.NewWorld(mach, np, mpi.WithPlacement(rr))
+	w, err := newWorld(mach, np, mpi.WithPlacement(rr))
 	if err != nil {
 		return 0, err
 	}

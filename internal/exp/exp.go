@@ -14,10 +14,12 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"mpimon/internal/mpi"
 	"mpimon/internal/netsim"
+	"mpimon/internal/telemetry"
 )
 
 // PlaFRIMWorld builds the paper's standard experiment world: np ranks, 24
@@ -29,7 +31,50 @@ func PlaFRIMWorld(np int, placement []int, opts ...mpi.Option) (*mpi.World, erro
 	if placement != nil {
 		opts = append(opts, mpi.WithPlacement(placement))
 	}
+	return newWorld(mach, np, opts...)
+}
+
+// worldOptions are prepended to every experiment world's options; see
+// SetWorldOptions.
+var worldOptions []mpi.Option
+
+// SetWorldOptions installs options applied to every world the experiment
+// drivers build from here on (calling it with none resets). The cmd/exp-*
+// harnesses use it to attach a telemetry hub without widening every
+// driver's signature. Not safe to call while a driver is running.
+func SetWorldOptions(opts ...mpi.Option) { worldOptions = opts }
+
+// newWorld is the single world constructor of the experiment drivers,
+// merging the injected package options with the driver's own.
+func newWorld(mach *netsim.Machine, np int, opts ...mpi.Option) (*mpi.World, error) {
+	if len(worldOptions) > 0 {
+		opts = append(append([]mpi.Option(nil), worldOptions...), opts...)
+	}
 	return mpi.NewWorld(mach, np, opts...)
+}
+
+// TelemetrySetup interprets the shared -telemetry flag of the cmd/exp-*
+// harnesses: with a non-empty path it attaches a fresh telemetry hub to
+// every subsequent experiment world and returns a flush function that
+// writes the collected spans as a Chrome trace-event file. With an empty
+// path both the setup and the flush are no-ops.
+func TelemetrySetup(path string) (flush func() error) {
+	if path == "" {
+		return func() error { return nil }
+	}
+	tel := telemetry.New()
+	SetWorldOptions(mpi.WithTelemetry(tel))
+	return func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, tel.Spans()); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
 }
 
 // Nodes returns the node count the paper uses for a given rank count (24

@@ -60,6 +60,30 @@ func TestOverheadSmall(t *testing.T) {
 	}
 }
 
+func TestTelemetryOverheadSmall(t *testing.T) {
+	cfg := TelemetryOverheadConfig{NP: 8, Size: 256, Reps: 30}
+	res, err := TelemetryOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural checks only — the significance claim is an EXPERIMENTS.md
+	// record at full reps, not something 30 noisy CI samples can assert.
+	for name, w := range map[string]float64{"disabled": res.Disabled.SE, "enabled": res.Enabled.SE} {
+		if w <= 0 {
+			t.Fatalf("%s arm has non-positive standard error", name)
+		}
+	}
+	if res.Disabled.Diff > 500 || res.Enabled.Diff > 500 {
+		t.Fatalf("telemetry overhead implausibly large: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintTelemetryOverhead(&buf, cfg, res)
+	out := buf.String()
+	if !strings.Contains(out, "disabled") || !strings.Contains(out, "enabled") {
+		t.Fatalf("printer output incomplete:\n%s", out)
+	}
+}
+
 func TestCollectiveOptShape(t *testing.T) {
 	cfg := CollOptConfig{Op: "reduce", NPs: []int{48}, BufSizes: []int{20000}, Reps: 3}
 	rows, err := CollectiveOpt(cfg)

@@ -67,7 +67,7 @@ func heatCell(np, bufInts, iters int) (HeatCell, error) {
 	if err != nil {
 		return HeatCell{}, err
 	}
-	w, err := mpi.NewWorld(mach, np, mpi.WithPlacement(rr))
+	w, err := newWorld(mach, np, mpi.WithPlacement(rr))
 	if err != nil {
 		return HeatCell{}, err
 	}

@@ -55,7 +55,7 @@ type HWCountersResult struct {
 func HWCounters(cfg HWCountersConfig) (HWCountersResult, error) {
 	mach := netsim.IBPair()
 	// Rank 0 on node 0, rank 1 on node 1.
-	w, err := mpi.NewWorld(mach, 2, mpi.WithPlacement([]int{0, mach.Topo.LeavesPerNode()}))
+	w, err := newWorld(mach, 2, mpi.WithPlacement([]int{0, mach.Topo.LeavesPerNode()}))
 	if err != nil {
 		return HWCountersResult{}, err
 	}
@@ -75,7 +75,7 @@ func HWCounters(cfg HWCountersConfig) (HWCountersResult, error) {
 		}
 		p := c.Proc()
 		if c.Rank() == 0 {
-			p.Monitor().SetRecorder(collector.Record)
+			recID := p.Monitor().AddRecorder(collector.Record)
 			rng := p.Rand()
 			rng.Seed(cfg.Seed)
 			for p.Clock() < cfg.Duration {
@@ -86,7 +86,7 @@ func HWCounters(cfg HWCountersConfig) (HWCountersResult, error) {
 				sleep := cfg.MinSleep + time.Duration(rng.Int63n(int64(cfg.MaxSleep-cfg.MinSleep)))
 				p.Sleep(sleep)
 			}
-			p.Monitor().SetRecorder(nil)
+			p.Monitor().RemoveRecorder(recID)
 			if err := c.SendN(1, stopTag, 0); err != nil {
 				return err
 			}

@@ -135,7 +135,7 @@ func cgRun(cls cg.Class, np int, mapping string, niter int, seed int64, withReor
 	if err != nil {
 		return cgTiming{}, err
 	}
-	w, err := mpi.NewWorld(mach, np, mpi.WithPlacement(place))
+	w, err := newWorld(mach, np, mpi.WithPlacement(place))
 	if err != nil {
 		return cgTiming{}, err
 	}

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"time"
 
 	"mpimon/internal/mpi"
 	"mpimon/internal/pml"
@@ -59,35 +58,7 @@ func Overhead(cfg OverheadConfig) ([]OverheadRow, error) {
 // timedReduces measures the wall time of rep successive reduces on a world
 // of np ranks, returning rank 0's per-iteration samples in microseconds.
 func timedReduces(np, size, reps int, level pml.Level) ([]float64, error) {
-	w, err := PlaFRIMWorld(np, nil, mpi.WithMonitoringLevel(level))
-	if err != nil {
-		return nil, err
-	}
-	samples := make([]float64, 0, reps)
-	err = w.Run(func(c *mpi.Comm) error {
-		send := make([]byte, size)
-		var recv []byte
-		if c.Rank() == 0 {
-			recv = make([]byte, size)
-		}
-		for i := 0; i < reps; i++ {
-			if err := c.Barrier(); err != nil {
-				return err
-			}
-			t0 := time.Now()
-			if err := c.Reduce(send, recv, mpi.Byte, mpi.OpMax, 0); err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				samples = append(samples, float64(time.Since(t0))/1e3)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return samples, nil
+	return timedReducesOpts(np, size, reps, mpi.WithMonitoringLevel(level))
 }
 
 // PrintOverhead writes the Fig. 4 rows: np, size, mean difference and 95%

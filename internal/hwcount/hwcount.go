@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mpimon/internal/netsim"
+	"mpimon/internal/pml"
 )
 
 // Event is one observed transmission: a virtual timestamp and a byte count.
@@ -36,8 +37,9 @@ type Collector struct {
 	evs []Event
 }
 
-// Record implements pml.Recorder's signature.
-func (c *Collector) Record(dst int, bytes int, when int64) {
+// Record implements pml.Recorder's signature; class and destination are
+// ignored, the NIC counter comparison is about totals over time.
+func (c *Collector) Record(class pml.Class, dst, bytes int, when int64) {
 	c.mu.Lock()
 	c.evs = append(c.evs, Event{When: when, Bytes: int64(bytes)})
 	c.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mpimon/internal/netsim"
+	"mpimon/internal/pml"
 )
 
 func ms(n int64) int64 { return n * int64(time.Millisecond) }
@@ -59,8 +60,8 @@ func TestCumulativeAndTotal(t *testing.T) {
 
 func TestCollector(t *testing.T) {
 	var c Collector
-	c.Record(1, 100, ms(5))
-	c.Record(1, 50, ms(2))
+	c.Record(pml.P2P, 1, 100, ms(5))
+	c.Record(pml.P2P, 1, 50, ms(2))
 	evs := c.Events()
 	if len(evs) != 2 {
 		t.Fatalf("%d events, want 2", len(evs))

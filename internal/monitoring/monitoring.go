@@ -19,11 +19,13 @@ package monitoring
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mpimon/internal/mpi"
 	"mpimon/internal/mpit"
 	"mpimon/internal/pml"
+	"mpimon/internal/telemetry"
 )
 
 // Flags selects which communication classes a data access returns.
@@ -106,6 +108,12 @@ type Env struct {
 	hBytes  [pml.NumClasses]*mpit.Handle
 	tsess   *mpit.Session
 
+	// tr and active are nil unless the world has telemetry: lifecycle
+	// events land on the rank's timeline, and the gauge tracks how many
+	// sessions are live on this process.
+	tr     *telemetry.Rank
+	active *telemetry.Gauge
+
 	mu        sync.Mutex
 	sessions  map[Msid]*Session
 	nextMsid  Msid
@@ -135,6 +143,12 @@ func Init(p *mpi.Proc) (*Env, error) {
 		}
 		e.hCounts[cl], e.hBytes[cl] = hc, hb
 	}
+	if tel := p.World().Telemetry(); tel != nil {
+		e.tr = p.Telemetry()
+		e.active = tel.Registry().Gauge("mpimon_active_sessions",
+			telemetry.L("rank", strconv.Itoa(p.Rank())))
+		e.tr.Event("monitoring.init", int64(p.Clock()))
+	}
 	return e, nil
 }
 
@@ -160,9 +174,15 @@ func (e *Env) Finalize() error {
 		s.state = Freed
 		s.mu.Unlock()
 		delete(e.sessions, id)
+		if e.active != nil {
+			e.active.Dec()
+		}
 	}
 	e.tsess.Free()
 	e.finalized = true
+	if e.tr != nil {
+		e.tr.Event("monitoring.finalize", int64(e.p.Clock()))
+	}
 	return nil
 }
 
@@ -222,6 +242,10 @@ func (e *Env) Start(comm *mpi.Comm) (*Session, error) {
 		s.accBytes[cl] = make([]uint64, n)
 	}
 	e.sessions[s.id] = s
+	if e.tr != nil {
+		e.active.Inc()
+		e.tr.Event("session.start", int64(e.p.Clock()))
+	}
 	return s, nil
 }
 
@@ -320,6 +344,9 @@ func (s *Session) Suspend() error {
 		}
 	}
 	s.state = Suspended
+	if s.env.tr != nil {
+		s.env.tr.Event("session.suspend", int64(s.env.p.Clock()))
+	}
 	return nil
 }
 
@@ -342,6 +369,9 @@ func (s *Session) Continue() error {
 		s.snapBytes[cl] = bytes[cl]
 	}
 	s.state = Active
+	if s.env.tr != nil {
+		s.env.tr.Event("session.continue", int64(s.env.p.Clock()))
+	}
 	return nil
 }
 
@@ -376,6 +406,10 @@ func (s *Session) Free() error {
 	s.state = Freed
 	s.mu.Unlock()
 	s.env.drop(s.id)
+	if s.env.tr != nil {
+		s.env.active.Dec()
+		s.env.tr.Event("session.free", int64(s.env.p.Clock()))
+	}
 	return nil
 }
 

@@ -44,6 +44,7 @@ func (c *Comm) recvOn(ctx, src, tag int, buf []byte) (Status, error) {
 func (c *Comm) Barrier() error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("barrier")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.barrier()
@@ -70,6 +71,7 @@ func (c *Comm) barrier() error {
 func (c *Comm) Bcast(buf []byte, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("bcast")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.bcast(buf, len(buf), root, true)
@@ -80,6 +82,7 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 func (c *Comm) BcastN(size, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("bcast")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.bcast(nil, size, root, false)
@@ -137,6 +140,7 @@ func (c *Comm) bcast(buf []byte, size, root int, carry bool) error {
 func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("reduce")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.reduceBinary(send, recv, len(send), dt, op, root, true)
@@ -147,6 +151,7 @@ func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 func (c *Comm) ReduceN(size, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("reduce")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.reduceBinary(nil, nil, size, Byte, OpSum, root, false)
@@ -200,6 +205,7 @@ func (c *Comm) reduceBinary(send, recv []byte, size int, dt Datatype, op Op, roo
 func (c *Comm) ReduceBinomial(send, recv []byte, dt Datatype, op Op, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("reduce.binomial")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -244,6 +250,7 @@ func (c *Comm) ReduceBinomial(send, recv []byte, dt Datatype, op Op, root int) e
 func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allreduce")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	if len(recv) != len(send) {
@@ -261,6 +268,7 @@ func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
 func (c *Comm) Gather(send, recv []byte, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("gather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.gather(send, recv, root)
@@ -295,6 +303,7 @@ func (c *Comm) gather(send, recv []byte, root int) error {
 func (c *Comm) GatherN(size, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("gather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	n := len(c.group)
@@ -322,6 +331,7 @@ func (c *Comm) GatherN(size, root int) error {
 func (c *Comm) Allgather(send, recv []byte) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allgather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	return c.allgather(send, recv)
@@ -358,6 +368,7 @@ func (c *Comm) allgather(send, recv []byte) error {
 func (c *Comm) AllgatherN(size int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allgather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	n := len(c.group)
@@ -384,6 +395,7 @@ func (c *Comm) AllgatherN(size int) error {
 func (c *Comm) Scatter(send, recv []byte, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("scatter")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -418,6 +430,7 @@ func (c *Comm) Scatter(send, recv []byte, root int) error {
 func (c *Comm) Alltoall(send, recv []byte) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("alltoall")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 

@@ -27,6 +27,7 @@ const (
 func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allreduce.rd")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -118,6 +119,7 @@ func (c *Comm) sendrecvOn(ctx, dst, sendTag int, data []byte, size int, src, rec
 func (c *Comm) ReduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("reduce_scatter_block")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -154,6 +156,7 @@ func (c *Comm) ReduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
 func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("scan")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -184,6 +187,7 @@ func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
 func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("exscan")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -221,6 +225,7 @@ func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 func (c *Comm) BcastSAG(buf []byte, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("bcast.sag")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -311,6 +316,7 @@ func (c *Comm) AllgatherRD(send, recv []byte) error {
 	}
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allgather.rd")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -346,6 +352,7 @@ func (c *Comm) AllgatherRD(send, recv []byte) error {
 func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("gatherv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -387,6 +394,7 @@ func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int)
 func (c *Comm) Scatterv(send []byte, counts, displs []int, recv []byte, root int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("scatterv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 

@@ -14,6 +14,7 @@ const tagAlltoallv = 16 << 20
 func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("alltoallv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 
@@ -121,6 +122,7 @@ func (c *Comm) SplitByNode() (*Comm, error) {
 func (c *Comm) Allgatherv(send []byte, recv []byte, counts, displs []int) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("allgatherv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
 

@@ -56,6 +56,7 @@ func (c *Comm) checkRank(r int, what string) error {
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
+	defer c.span("comm.split")()
 
 	n := len(c.group)
 	// Exchange (color, key) pairs; library-internal traffic.

@@ -23,6 +23,7 @@ import (
 
 	"mpimon/internal/netsim"
 	"mpimon/internal/pml"
+	"mpimon/internal/telemetry"
 )
 
 // Wildcards for Recv/Probe source and tag arguments.
@@ -41,6 +42,7 @@ type World struct {
 	placement []int
 	procs     []*Proc
 	level     pml.Level
+	tel       *telemetry.Telemetry
 
 	ctxMu   sync.Mutex
 	ctxSeq  int
@@ -101,6 +103,9 @@ func NewWorld(mach *netsim.Machine, np int, opts ...Option) (*World, error) {
 	w.procs = make([]*Proc, np)
 	for r := 0; r < np; r++ {
 		w.procs[r] = newProc(w, r)
+	}
+	if w.tel != nil {
+		w.wireTelemetry()
 	}
 	return w, nil
 }
@@ -252,6 +257,11 @@ type Proc struct {
 	internal int   // >0 while executing inside a collective implementation
 	mpiTime  int64 // virtual ns spent in top-level MPI calls
 	rng      *rand.Rand
+
+	// tr and tm are nil unless the world was built WithTelemetry; every
+	// telemetry hook guards on that, which is the whole disabled fast path.
+	tr *telemetry.Rank
+	tm *rankMetrics
 }
 
 func newProc(w *World, rank int) *Proc {

@@ -16,6 +16,7 @@ type message struct {
 	size    int
 	data    []byte
 	arrival int64
+	sentAt  int64 // sender's virtual clock at injection (telemetry latency)
 }
 
 func (m *message) matches(ctx, src, tag int) bool {

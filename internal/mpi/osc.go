@@ -139,6 +139,7 @@ func (w *Win) Fence() error {
 	p := c.p
 	t0 := p.enterMPI()
 	defer p.leaveMPI(t0)
+	defer c.span("win.fence")()
 	n := c.Size()
 
 	// 1. Exchange per-peer (put, get) counts; synchronization traffic is

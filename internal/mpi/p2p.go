@@ -58,11 +58,19 @@ func (c *Comm) send(dst, tag int, data []byte, size int, class pml.Class) error 
 
 	p.clock += int64(w.mach.SendOverhead)
 	p.mon.Record(class, dstWorld, size, p.clock)
+	sentAt := p.clock
 	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
 	if senderFree > p.clock {
 		p.clock = senderFree
 	}
-	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival})
+	if p.tm != nil {
+		uc := userCtx(c.ctx)
+		cm, cb := p.tm.comm(uc)
+		cm.Inc()
+		cb.Add(uint64(size))
+		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
+	}
+	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival, sentAt: sentAt})
 	return nil
 }
 
@@ -84,6 +92,7 @@ func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
 		}
 	}
 	p := c.p
+	before := p.clock
 	m := p.queue.take(c.ctx, src, tag)
 	if m == nil {
 		return Status{}, ErrAborted
@@ -91,6 +100,7 @@ func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
 	if m.arrival > p.clock {
 		p.clock = m.arrival
 	}
+	p.observeRecvTelemetry(m, before)
 	p.clock += int64(p.world.mach.RecvOverhead)
 	st := Status{Source: m.src, Tag: m.tag, Size: m.size}
 	if buf != nil {
@@ -180,6 +190,16 @@ type Request struct {
 	buf      []byte
 	st       Status
 	err      error
+	// tracked marks requests counted in the telemetry in-flight gauge.
+	tracked bool
+}
+
+// finish marks the request complete, releasing its in-flight gauge slot.
+func (r *Request) finish() {
+	r.done = true
+	if r.tracked {
+		r.c.p.tm.inflight.Dec()
+	}
 }
 
 // Isend starts a nonblocking send. The sender is charged only the send
@@ -215,11 +235,22 @@ func (c *Comm) isend(dst, tag int, data []byte, size int) (*Request, error) {
 	dstWorld := c.group[dst]
 	dstProc := w.procs[dstWorld]
 
+	class := p.class()
 	p.clock += int64(w.mach.SendOverhead)
-	p.mon.Record(p.class(), dstWorld, size, p.clock)
+	p.mon.Record(class, dstWorld, size, p.clock)
+	sentAt := p.clock
 	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
-	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival})
-	return &Request{c: c, isSend: true, freeAt: senderFree}, nil
+	tracked := p.tm != nil
+	if tracked {
+		uc := userCtx(c.ctx)
+		cm, cb := p.tm.comm(uc)
+		cm.Inc()
+		cb.Add(uint64(size))
+		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
+		p.tm.inflight.Inc()
+	}
+	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival, sentAt: sentAt})
+	return &Request{c: c, isSend: true, freeAt: senderFree, tracked: tracked}, nil
 }
 
 // Irecv starts a nonblocking receive into buf; the matching and the clock
@@ -232,7 +263,11 @@ func (c *Comm) Irecv(src, tag int, buf []byte) (*Request, error) {
 			return nil, err
 		}
 	}
-	return &Request{c: c, isSend: false, src: src, tag: tag, buf: buf}, nil
+	tracked := c.p.tm != nil
+	if tracked {
+		c.p.tm.inflight.Inc()
+	}
+	return &Request{c: c, isSend: false, src: src, tag: tag, buf: buf, tracked: tracked}, nil
 }
 
 // Wait completes the request, advancing the virtual clock accordingly.
@@ -240,7 +275,7 @@ func (r *Request) Wait() (Status, error) {
 	if r.done {
 		return r.st, r.err
 	}
-	r.done = true
+	r.finish()
 	p := r.c.p
 	t0 := p.enterMPI()
 	defer p.leaveMPI(t0)
@@ -281,17 +316,19 @@ func (r *Request) Test() (Status, bool, error) {
 		if r.freeAt > p.clock {
 			return Status{}, false, nil
 		}
-		r.done = true
+		r.finish()
 		return Status{}, true, nil
 	}
+	before := p.clock
 	m, ok := p.queue.tryTake(r.c.ctx, r.src, r.tag)
 	if !ok {
 		return Status{}, false, nil
 	}
-	r.done = true
+	r.finish()
 	if m.arrival > p.clock {
 		p.clock = m.arrival
 	}
+	p.observeRecvTelemetry(m, before)
 	p.clock += int64(p.world.mach.RecvOverhead)
 	r.st = Status{Source: m.src, Tag: m.tag, Size: m.size}
 	if r.buf != nil {

@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"strconv"
+
+	"mpimon/internal/pml"
+	"mpimon/internal/telemetry"
+)
+
+// This file wires the telemetry subsystem into the runtime. The contract
+// is "disabled = a few nil checks": a World built without WithTelemetry
+// leaves Proc.tr and Proc.tm nil and every hook below compiles down to a
+// skipped branch (verified by exp.TelemetryOverhead).
+
+// WithTelemetry attaches a telemetry hub to the world: every rank gets a
+// span tracer and a pre-resolved set of metrics instruments, and the
+// network reports NIC busy-waits into a per-node histogram. A nil hub is
+// allowed and leaves telemetry disabled.
+func WithTelemetry(tel *telemetry.Telemetry) Option {
+	return func(w *World) { w.tel = tel }
+}
+
+// Telemetry returns the world's telemetry hub, or nil when disabled.
+func (w *World) Telemetry() *telemetry.Telemetry { return w.tel }
+
+// rankMetrics holds one process's pre-resolved instruments so the hot
+// paths never touch the registry.
+type rankMetrics struct {
+	reg  *telemetry.Registry
+	rank telemetry.Label
+
+	// Per-class message/byte counters, fed by a pml recorder so they
+	// honour the monitoring level and suppression exactly like the
+	// counters the introspection library reads.
+	msgs  [pml.NumClasses]*telemetry.Counter
+	bytes [pml.NumClasses]*telemetry.Counter
+
+	msgSize  *telemetry.Histogram // payload bytes per monitored message
+	recvWait *telemetry.Histogram // virtual ns blocked waiting for a message
+	latency  *telemetry.Histogram // virtual send-to-arrival ns per received message
+	inflight *telemetry.Gauge     // outstanding nonblocking requests
+
+	// Per-communicator traffic counters, resolved lazily per context id;
+	// the maps are owned by the rank goroutine.
+	commMsgs  map[int]*telemetry.Counter
+	commBytes map[int]*telemetry.Counter
+}
+
+// wireTelemetry is called by NewWorld after the processes exist.
+func (w *World) wireTelemetry() {
+	reg := w.tel.Registry()
+	for r, p := range w.procs {
+		p.tr = w.tel.Rank(r)
+		m := &rankMetrics{
+			reg:       reg,
+			rank:      telemetry.L("rank", strconv.Itoa(r)),
+			commMsgs:  make(map[int]*telemetry.Counter),
+			commBytes: make(map[int]*telemetry.Counter),
+		}
+		for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+			class := telemetry.L("class", cl.String())
+			m.msgs[cl] = reg.Counter("mpimon_messages_total", m.rank, class)
+			m.bytes[cl] = reg.Counter("mpimon_bytes_total", m.rank, class)
+		}
+		m.msgSize = reg.Histogram("mpimon_message_size_bytes", telemetry.SizeBuckets, m.rank)
+		m.recvWait = reg.Histogram("mpimon_recv_wait_ns", telemetry.TimeBuckets, m.rank)
+		m.latency = reg.Histogram("mpimon_message_latency_ns", telemetry.TimeBuckets, m.rank)
+		m.inflight = reg.Gauge("mpimon_inflight_requests", m.rank)
+		p.tm = m
+		p.mon.AddRecorder(func(class pml.Class, dst, size int, when int64) {
+			m.msgs[class].Inc()
+			m.bytes[class].Add(uint64(size))
+			m.msgSize.Observe(int64(size))
+		})
+	}
+	nodes := w.mach.Topo.NumNodes()
+	nicWait := make([]*telemetry.Histogram, nodes)
+	for i := range nicWait {
+		nicWait[i] = reg.Histogram("mpimon_nic_wait_ns", telemetry.TimeBuckets,
+			telemetry.L("node", strconv.Itoa(i)))
+	}
+	w.net.SetWaitObserver(func(node int, waitNs int64) { nicWait[node].Observe(waitNs) })
+}
+
+// Telemetry returns the process's span tracer, or nil when the world has
+// no telemetry. Library layers above mpi (monitoring, reorder) use it to
+// record their own lifecycle events and phase spans on this rank's
+// timeline.
+func (p *Proc) Telemetry() *telemetry.Rank { return p.tr }
+
+// comm returns (creating on first use) the per-communicator traffic
+// counters of a context id. Must be called from the rank goroutine.
+func (m *rankMetrics) comm(ctx int) (*telemetry.Counter, *telemetry.Counter) {
+	cm, ok := m.commMsgs[ctx]
+	if !ok {
+		l := telemetry.L("ctx", strconv.Itoa(ctx))
+		cm = m.reg.Counter("mpimon_comm_messages_total", m.rank, l)
+		m.commMsgs[ctx] = cm
+		m.commBytes[ctx] = m.reg.Counter("mpimon_comm_bytes_total", m.rank, l)
+	}
+	return cm, m.commBytes[ctx]
+}
+
+// userCtx maps a message's transport context back to the communicator the
+// user sees: collective-internal traffic travels on -(ctx+1).
+func userCtx(ctx int) int {
+	if ctx < 0 {
+		return -ctx - 1
+	}
+	return ctx
+}
+
+// spanNoop is the shared disabled-path closure, so c.span costs no
+// allocation when telemetry is off.
+var spanNoop = func() {}
+
+// span opens a collective (or other library-call) span at the current
+// virtual time and returns the closure that ends it; use as
+// `defer c.span("bcast")()`.
+func (c *Comm) span(name string) func() {
+	tr := c.p.tr
+	if tr == nil {
+		return spanNoop
+	}
+	p := c.p
+	tr.Begin(name, telemetry.KindCollective, p.clock)
+	return func() { tr.End(p.clock) }
+}
+
+// observeRecvTelemetry records the receive-side telemetry of a matched
+// message: how long the receiver was (virtually) blocked, the
+// send-to-arrival latency, and a wait span when the clock had to jump.
+// before is the receiver's clock when it started waiting.
+func (p *Proc) observeRecvTelemetry(m *message, before int64) {
+	if p.tm == nil {
+		return
+	}
+	waited := m.arrival - before
+	if waited < 0 {
+		waited = 0
+	}
+	p.tm.recvWait.Observe(waited)
+	p.tm.latency.Observe(m.arrival - m.sentAt)
+	if p.tr != nil && waited > 0 {
+		p.tr.Range("recv.wait", telemetry.KindWait, before, m.arrival)
+	}
+}

@@ -157,6 +157,12 @@ type Network struct {
 	logMu    sync.Mutex
 	eventLog []XmitEvent
 	logging  atomic.Bool
+
+	// waitObs, when non-nil, observes NIC busy-waits: a transfer that
+	// found its node's NIC busy reports how long (virtual ns) it queued.
+	// Set it before the simulation starts; it is called concurrently from
+	// the rank goroutines and must be safe for that.
+	waitObs func(node int, waitNs int64)
 }
 
 type nicState struct {
@@ -180,6 +186,10 @@ func (n *Network) Machine() *Machine { return n.mach }
 // SetEventLogging toggles recording of per-transfer XmitEvents (used by the
 // hardware-counter experiments; off by default to keep the fast path lean).
 func (n *Network) SetEventLogging(on bool) { n.logging.Store(on) }
+
+// SetWaitObserver installs (or removes, with nil) the NIC busy-wait
+// observer. Must be called before the simulation runs.
+func (n *Network) SetWaitObserver(fn func(node int, waitNs int64)) { n.waitObs = fn }
 
 // DrainEvents returns and clears the recorded transmit events.
 func (n *Network) DrainEvents() []XmitEvent {
@@ -215,6 +225,9 @@ func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arriv
 		nic := &n.nics[node]
 		if n.mach.Contention {
 			start = reserve(&nic.busyUntil, now, xferNs)
+			if n.waitObs != nil && start > now {
+				n.waitObs(node, start-now)
+			}
 		}
 		end := start + xferNs
 		nic.xmitData.Add(int64(size))

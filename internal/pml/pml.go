@@ -13,6 +13,7 @@ package pml
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -64,20 +65,32 @@ const (
 	Distinct Level = 2
 )
 
-// Recorder observes individual monitored messages (destination world rank,
-// payload bytes, virtual timestamp in ns). It is used by the
-// hardware-counter comparison experiment; the hot path skips it when nil.
-type Recorder func(dst int, bytes int, when int64)
+// Recorder observes individual monitored messages (communication class,
+// destination world rank, payload bytes, virtual timestamp in ns). The
+// class is the one the monitor records, i.e. already folded to P2P at
+// level Aggregate. Recorders see only what the counters see: nothing at
+// level Disabled and nothing while recording is suppressed.
+type Recorder func(class Class, dst, bytes int, when int64)
 
 // Monitor holds the per-process counters. One Monitor belongs to one MPI
 // process; counters are written on the sender side only, at the moment the
 // message is buffered for transmission. All methods are safe for concurrent
 // use.
+//
+// Any number of recorders can observe the monitor simultaneously (the
+// post-mortem tracer, the hardware-counter collector and the telemetry
+// metrics all hang off the same run); the hot path reads an immutable
+// snapshot of the recorder list, so fan-out costs one pointer load when no
+// recorder is installed.
 type Monitor struct {
 	n        int
 	level    atomic.Int32
 	suppress atomic.Int32
-	recorder atomic.Pointer[Recorder]
+
+	recMu     sync.Mutex
+	recNext   int
+	recIDs    []int
+	recorders atomic.Pointer[[]Recorder]
 
 	// counts[class][dst] and bytes[class][dst], flat to keep allocation
 	// count low; accessed with atomics.
@@ -117,13 +130,51 @@ func (m *Monitor) Unsuppress() {
 	}
 }
 
-// SetRecorder installs (or, with nil, removes) a per-message observer.
-func (m *Monitor) SetRecorder(r Recorder) {
+// AddRecorder registers a per-message observer and returns an id for
+// RemoveRecorder. Recorders are invoked in registration order on the
+// sender's goroutine.
+func (m *Monitor) AddRecorder(r Recorder) int {
 	if r == nil {
-		m.recorder.Store(nil)
+		panic("pml: AddRecorder(nil)")
+	}
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	id := m.recNext
+	m.recNext++
+	m.recIDs = append(m.recIDs, id)
+	old := m.recorders.Load()
+	var rs []Recorder
+	if old != nil {
+		rs = append(rs, *old...)
+	}
+	rs = append(rs, r)
+	m.recorders.Store(&rs)
+	return id
+}
+
+// RemoveRecorder unregisters the recorder with the given id; unknown ids
+// are ignored (removing twice is harmless).
+func (m *Monitor) RemoveRecorder(id int) {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	old := m.recorders.Load()
+	if old == nil {
 		return
 	}
-	m.recorder.Store(&r)
+	for i, have := range m.recIDs {
+		if have == id {
+			m.recIDs = append(m.recIDs[:i], m.recIDs[i+1:]...)
+			rs := make([]Recorder, 0, len(*old)-1)
+			rs = append(rs, (*old)[:i]...)
+			rs = append(rs, (*old)[i+1:]...)
+			if len(rs) == 0 {
+				m.recorders.Store(nil)
+			} else {
+				m.recorders.Store(&rs)
+			}
+			return
+		}
+	}
 }
 
 // Record counts one outgoing message of the given class to the destination
@@ -144,8 +195,10 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 	i := int(class)*m.n + dst
 	atomic.AddUint64(&m.counts[i], 1)
 	atomic.AddUint64(&m.bytes[i], uint64(size))
-	if r := m.recorder.Load(); r != nil {
-		(*r)(dst, size, when)
+	if rs := m.recorders.Load(); rs != nil {
+		for _, r := range *rs {
+			r(class, dst, size, when)
+		}
 	}
 }
 

@@ -70,15 +70,53 @@ func TestUnsuppressUnderflowPanics(t *testing.T) {
 func TestRecorderHook(t *testing.T) {
 	m := NewMonitor(2, Distinct)
 	var got []int
-	m.SetRecorder(func(dst, bytes int, when int64) {
+	id := m.AddRecorder(func(class Class, dst, bytes int, when int64) {
 		got = append(got, bytes)
 	})
 	m.Record(P2P, 1, 5, 0)
 	m.Record(P2P, 1, 7, 0)
-	m.SetRecorder(nil)
+	m.RemoveRecorder(id)
 	m.Record(P2P, 1, 9, 0)
 	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
 		t.Fatalf("recorder saw %v, want [5 7]", got)
+	}
+}
+
+func TestRecorderFanOut(t *testing.T) {
+	m := NewMonitor(2, Distinct)
+	var a, b []int
+	idA := m.AddRecorder(func(class Class, dst, bytes int, when int64) {
+		a = append(a, bytes)
+	})
+	m.AddRecorder(func(class Class, dst, bytes int, when int64) {
+		b = append(b, bytes)
+	})
+	m.Record(Coll, 0, 3, 0)
+	m.RemoveRecorder(idA)
+	m.RemoveRecorder(idA) // double removal is harmless
+	m.Record(Coll, 0, 4, 0)
+	if len(a) != 1 || a[0] != 3 {
+		t.Fatalf("recorder a saw %v, want [3]", a)
+	}
+	if len(b) != 2 || b[0] != 3 || b[1] != 4 {
+		t.Fatalf("recorder b saw %v, want [3 4]", b)
+	}
+}
+
+func TestRecorderSeesFoldedClassAndSuppression(t *testing.T) {
+	m := NewMonitor(2, Aggregate)
+	var classes []Class
+	m.AddRecorder(func(class Class, dst, bytes int, when int64) {
+		classes = append(classes, class)
+	})
+	m.Record(Coll, 1, 1, 0) // folded to P2P at level Aggregate
+	m.Suppress()
+	m.Record(P2P, 1, 1, 0) // suppressed: recorders must not see it
+	m.Unsuppress()
+	m.SetLevel(Disabled)
+	m.Record(P2P, 1, 1, 0) // disabled: same
+	if len(classes) != 1 || classes[0] != P2P {
+		t.Fatalf("recorder saw classes %v, want [p2p]", classes)
 	}
 }
 

@@ -12,9 +12,23 @@ import (
 
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
+	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
 	"mpimon/internal/treematch"
 )
+
+// phaseSpan opens a reordering-pipeline phase span on the calling rank's
+// telemetry timeline (no-op when telemetry is disabled) and returns the
+// closure ending it at the then-current virtual time.
+func phaseSpan(c *mpi.Comm, name string) func() {
+	tr := c.Proc().Telemetry()
+	if tr == nil {
+		return func() {}
+	}
+	p := c.Proc()
+	tr.Begin(name, telemetry.KindPhase, int64(p.Clock()))
+	return func() { tr.End(int64(p.Clock())) }
+}
 
 // Options tunes the reordering step.
 type Options struct {
@@ -111,16 +125,20 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 	n := comm.Size()
 	p := comm.Proc()
 
+	endGather := phaseSpan(comm, "reorder.gather")
 	_, matBytes, err := s.RootgatherData(0, flags)
+	endGather()
 	if err != nil {
 		return nil, nil, err
 	}
 
 	var k []int
 	if comm.Rank() == 0 {
+		endTM := phaseSpan(comm, "reorder.treematch")
 		start := time.Now()
 		k, err = ComputeMapping(matBytes, n, comm.World().Machine().Topo, memberPlacement(comm))
 		if err != nil {
+			endTM()
 			return nil, nil, err
 		}
 		switch {
@@ -129,18 +147,21 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 		case opts.ChargeMappingTime:
 			p.Compute(time.Since(start))
 		}
+		endTM()
 	} else {
 		k = make([]int, n)
 	}
 
 	// MPI_Bcast(k, n, MPI_INT, 0, original_comm); excluded from
 	// monitoring like the library's own gathers.
+	endSplit := phaseSpan(comm, "reorder.split")
 	mon := p.Monitor()
 	mon.Suppress()
 	buf := mpi.EncodeInts(k)
 	err = comm.Bcast(buf, 0)
 	mon.Unsuppress()
 	if err != nil {
+		endSplit()
 		return nil, nil, err
 	}
 	k = mpi.DecodeInts(buf)
@@ -150,6 +171,7 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 	mon.Suppress()
 	opt, err := comm.Split(0, k[comm.Rank()])
 	mon.Unsuppress()
+	endSplit()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,10 +187,14 @@ func MonitorAndReorder(env *monitoring.Env, comm *mpi.Comm, opts *Options, phase
 	if err != nil {
 		return nil, nil, err
 	}
+	endMon := phaseSpan(comm, "reorder.monitor")
 	if err := phase(comm); err != nil {
+		endMon()
 		return nil, nil, err
 	}
-	if err := s.Suspend(); err != nil {
+	err = s.Suspend()
+	endMon()
+	if err != nil {
 		return nil, nil, err
 	}
 	defer s.Free()
@@ -182,6 +208,7 @@ func MonitorAndReorder(env *monitoring.Env, comm *mpi.Comm, opts *Options, phase
 // It returns the received buffer; sizes may differ between roles.
 // Collective over the original communicator.
 func Redistribute(comm *mpi.Comm, k []int, data []byte) ([]byte, error) {
+	defer phaseSpan(comm, "reorder.redistribute")()
 	r := comm.Rank()
 	if len(k) != comm.Size() {
 		return nil, fmt.Errorf("reorder: permutation of %d entries for a communicator of %d", len(k), comm.Size())

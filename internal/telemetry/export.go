@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto and chrome://tracing. Timestamps are virtual
+// microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome trace thread ids: call spans (collectives, waits, phases) render
+// on one lane per rank, message transfers on a second lane, so a message
+// that outlives its enclosing collective (eager send drained after the
+// sender moved on) cannot break the nesting of the call lane.
+const (
+	tidCalls    = 0
+	tidMessages = 1
+)
+
+// WriteChromeTrace serializes spans as a Chrome trace-event JSON object.
+// Each rank becomes a process (pid = rank); call spans and message spans
+// occupy separate threads of it. Span identity and causality survive in
+// args.id / args.parent, which is what the tests (and scripts) use to
+// reconstruct the collective -> p2p decomposition tree.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tr := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	rankList := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Ints(rankList)
+	for _, r := range rankList {
+		tr.TraceEvents = append(tr.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: r, Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: tidCalls, Args: map[string]any{"name": "calls"}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: tidMessages, Args: map[string]any{"name": "messages"}},
+		)
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  s.Rank,
+			Tid:  tidCalls,
+			Args: map[string]any{
+				"id":     s.ID,
+				"parent": s.Parent,
+				"kind":   s.Kind.String(),
+			},
+		}
+		if s.Kind == KindEvent {
+			ev.Ph = "i"
+			ev.Dur = 0
+			ev.Args["s"] = "t"
+		}
+		if s.Kind == KindMessage {
+			ev.Tid = tidMessages
+			ev.Args["src"] = s.Src
+			ev.Args["dst"] = s.Dst
+			ev.Args["bytes"] = s.Bytes
+			ev.Args["class"] = s.Class
+			ev.Args["ctx"] = s.Ctx
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteCSV serializes spans as CSV, one row per span, header included.
+func WriteCSV(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "id,parent,rank,kind,name,start_ns,end_ns,src,dst,bytes,class,ctx"); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%s,%d\n",
+			s.ID, s.Parent, s.Rank, s.Kind, s.Name, s.Start, s.End,
+			s.Src, s.Dst, s.Bytes, s.Class, s.Ctx); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus serializes the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE comment per family,
+// counters/gauges as plain samples, histograms as cumulative _bucket
+// series plus _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		if m.family != lastFamily {
+			typ := "counter"
+			switch {
+			case m.g != nil:
+				typ = "gauge"
+			case m.h != nil:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", m.family, typ); err != nil {
+				return err
+			}
+			lastFamily = m.family
+		}
+		switch {
+		case m.c != nil:
+			if _, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(m.labels, "", ""), m.c.Value()); err != nil {
+				return err
+			}
+		case m.g != nil:
+			if _, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(m.labels, "", ""), m.g.Value()); err != nil {
+				return err
+			}
+		case m.h != nil:
+			var cum uint64
+			counts := m.h.BucketCounts()
+			bounds := m.h.Bounds()
+			for i, b := range bounds {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(m.labels, "le", fmt.Sprint(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(m.labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, labelString(m.labels, "", ""), m.h.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "%s_count%s %d\n", m.family, labelString(m.labels, "", ""), m.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {k="v",...}; extraKey/extraVal append one more pair
+// (the histogram "le" bound). Empty label sets render as "".
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

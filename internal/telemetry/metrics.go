@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key/value dimension of a metric (Prometheus label).
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an int64 metric that can go up and down (in-flight requests,
+// active sessions). Safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution of int64 observations
+// (sizes in bytes, durations in virtual ns). Buckets are defined by
+// ascending inclusive upper bounds; observations above the last bound
+// land in an implicit +Inf bucket. Safe for concurrent use.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64
+	n      atomic.Uint64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []int64 { return append([]int64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n ascending bounds starting at start, multiplying by
+// factor: the geometric bucket layouts used for sizes and durations.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start <= 0 || factor < 2 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start>0, factor>=2, n>0")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// SizeBuckets is the default message-size layout: 1 B to 1 GiB in powers
+// of four.
+var SizeBuckets = ExpBuckets(1, 4, 16)
+
+// TimeBuckets is the default duration layout: 64 ns to ~4.3 s in powers
+// of four.
+var TimeBuckets = ExpBuckets(64, 4, 14)
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	family string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a process-wide metrics registry. Instruments are created
+// (or found) by name plus label set; the returned pointers are meant to
+// be resolved once and updated lock-free on hot paths. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// metricKey canonicalizes (name, labels) — labels sorted by key.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Counter returns the counter with the given family name and labels,
+// creating it on first use. Registering the same identity as a different
+// instrument kind panics.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	m := r.lookup(name, labels, func() *metric { return &metric{c: new(Counter)} })
+	if m.c == nil {
+		panic(fmt.Sprintf("telemetry: metric %q is not a counter", name))
+	}
+	return m.c
+}
+
+// Gauge returns the gauge with the given identity, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	m := r.lookup(name, labels, func() *metric { return &metric{g: new(Gauge)} })
+	if m.g == nil {
+		panic(fmt.Sprintf("telemetry: metric %q is not a gauge", name))
+	}
+	return m.g
+}
+
+// Histogram returns the histogram with the given identity, creating it
+// with the given bucket bounds on first use (later calls reuse the
+// original bounds).
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	m := r.lookup(name, labels, func() *metric { return &metric{h: newHistogram(bounds)} })
+	if m.h == nil {
+		panic(fmt.Sprintf("telemetry: metric %q is not a histogram", name))
+	}
+	return m.h
+}
+
+func (r *Registry) lookup(name string, labels []Label, mk func() *metric) *metric {
+	ls := sortedLabels(labels)
+	key := metricKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		return m
+	}
+	m := mk()
+	m.family = name
+	m.labels = ls
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// snapshot returns the registered metrics sorted by family then label
+// signature, for deterministic export.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return metricKey("", out[i].labels) < metricKey("", out[j].labels)
+	})
+	return out
+}
+
+// CounterTotal sums the values of every counter of the given family
+// across all label sets (e.g. total bytes across ranks and classes).
+func (r *Registry) CounterTotal(name string) uint64 {
+	var s uint64
+	for _, m := range r.snapshot() {
+		if m.family == name && m.c != nil {
+			s += m.c.Value()
+		}
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+// Package telemetry is the unified observability substrate of the runtime:
+// span tracing over virtual time, a metrics registry (counters, gauges,
+// histograms), and pluggable exporters (Chrome trace-event JSON, CSV,
+// Prometheus text exposition).
+//
+// Where package pml counts "how much, to whom" and package trace records
+// flat per-process event streams, telemetry captures *structure*: every
+// collective operation opens a span, and the point-to-point messages it
+// decomposes into become child spans carrying (src, dst, bytes, class), so
+// the paper's central property — collectives become point-to-point below
+// the API — is directly visible as a causal tree. The same substrate
+// carries monitoring-session lifecycle events and the phase spans of the
+// dynamic rank reordering (monitor, treematch, split, redistribute).
+//
+// Design rules:
+//
+//   - Disabled means nil: a World without telemetry carries nil hooks and
+//     the hot paths pay only a nil check (verified by the telemetry
+//     overhead experiment in internal/exp).
+//   - One writer per rank: span recording goes through a per-rank tracer
+//     owned by that rank's goroutine; a mutex makes post-run export and
+//     the race detector happy without contention during the run.
+//   - Metrics are lock-free on the hot path: instruments are resolved
+//     once at wiring time and updated with atomics.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// Span kinds. KindCollective spans bracket collective operations (and
+// other library calls like Split or Fence); KindMessage spans are the
+// point-to-point transmissions they decompose into; KindWait spans cover
+// virtual time a rank spent blocked for a message; KindPhase spans mark
+// application-level phases (the reordering pipeline); KindEvent spans are
+// zero-duration lifecycle markers (monitoring sessions).
+const (
+	KindCollective Kind = iota
+	KindMessage
+	KindWait
+	KindPhase
+	KindEvent
+)
+
+// String returns the kind name used by the exporters.
+func (k Kind) String() string {
+	switch k {
+	case KindCollective:
+		return "collective"
+	case KindMessage:
+		return "message"
+	case KindWait:
+		return "wait"
+	case KindPhase:
+		return "phase"
+	case KindEvent:
+		return "event"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one recorded interval (or instant) of a rank's virtual
+// timeline. Parent is 0 for root spans; message spans carry the transfer
+// endpoints and payload, other kinds leave Src/Dst at -1.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Rank   int
+	Name   string
+	Kind   Kind
+	Start  int64 // virtual ns
+	End    int64 // virtual ns
+	Src    int   // sender world rank (message spans)
+	Dst    int   // destination world rank (message spans)
+	Bytes  int64 // payload bytes (message spans)
+	Class  string
+	Ctx    int // communicator context id, -1 when not applicable
+}
+
+// Duration returns End-Start in virtual ns.
+func (s Span) Duration() int64 { return s.End - s.Start }
+
+// Telemetry is one run's telemetry hub: per-rank span tracers plus a
+// shared metrics registry. Safe for concurrent use; rank tracers are
+// created lazily so one hub can observe several worlds in sequence (the
+// experiment harnesses reuse a hub across parameter sweeps).
+type Telemetry struct {
+	nextID atomic.Uint64
+	reg    *Registry
+
+	mu    sync.Mutex
+	ranks map[int]*Rank
+}
+
+// New builds an empty telemetry hub.
+func New() *Telemetry {
+	return &Telemetry{reg: NewRegistry(), ranks: make(map[int]*Rank)}
+}
+
+// Registry returns the hub's metrics registry.
+func (t *Telemetry) Registry() *Registry { return t.reg }
+
+// Rank returns (creating it on first use) the span tracer of a world
+// rank. The tracer must only be written from that rank's goroutine.
+func (t *Telemetry) Rank(i int) *Rank {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.ranks[i]
+	if !ok {
+		r = &Rank{t: t, rank: i}
+		t.ranks[i] = r
+	}
+	return r
+}
+
+// Spans returns every finished span of every rank, ordered by start time
+// (ties broken by span id, which follows creation order).
+func (t *Telemetry) Spans() []Span {
+	t.mu.Lock()
+	ranks := make([]*Rank, 0, len(t.ranks))
+	for _, r := range t.ranks {
+		ranks = append(ranks, r)
+	}
+	t.mu.Unlock()
+	var out []Span
+	for _, r := range ranks {
+		out = append(out, r.Spans()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// id hands out process-wide unique span ids starting at 1 (0 is "no
+// parent").
+func (t *Telemetry) id() uint64 { return t.nextID.Add(1) }
+
+// Rank records the spans of one world rank. Begin/End calls nest; the
+// innermost open span is the parent of anything recorded inside it.
+type Rank struct {
+	t    *Telemetry
+	rank int
+
+	mu   sync.Mutex
+	open []Span
+	done []Span
+}
+
+// RankID returns the world rank this tracer belongs to.
+func (r *Rank) RankID() int { return r.rank }
+
+// Begin opens a span at the given virtual time; close it with End.
+func (r *Rank) Begin(name string, kind Kind, startNs int64) {
+	r.mu.Lock()
+	s := Span{
+		ID:     r.t.id(),
+		Parent: r.topLocked(),
+		Rank:   r.rank,
+		Name:   name,
+		Kind:   kind,
+		Start:  startNs,
+		Src:    -1,
+		Dst:    -1,
+		Ctx:    -1,
+	}
+	r.open = append(r.open, s)
+	r.mu.Unlock()
+}
+
+// End closes the innermost open span at the given virtual time.
+func (r *Rank) End(endNs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.open) == 0 {
+		panic("telemetry: End without matching Begin")
+	}
+	s := r.open[len(r.open)-1]
+	r.open = r.open[:len(r.open)-1]
+	s.End = endNs
+	r.done = append(r.done, s)
+}
+
+// Message records a completed point-to-point transmission span as a child
+// of the innermost open span: start is the virtual time the message was
+// buffered on the sender, end the arrival of its last byte at the
+// receiver.
+func (r *Rank) Message(class string, ctx, src, dst int, bytes, startNs, endNs int64) {
+	r.mu.Lock()
+	r.done = append(r.done, Span{
+		ID:     r.t.id(),
+		Parent: r.topLocked(),
+		Rank:   r.rank,
+		Name:   "msg:" + class,
+		Kind:   KindMessage,
+		Start:  startNs,
+		End:    endNs,
+		Src:    src,
+		Dst:    dst,
+		Bytes:  bytes,
+		Class:  class,
+		Ctx:    ctx,
+	})
+	r.mu.Unlock()
+}
+
+// Range records a completed interval span (e.g. a receive wait) as a
+// child of the innermost open span.
+func (r *Rank) Range(name string, kind Kind, startNs, endNs int64) {
+	r.mu.Lock()
+	r.done = append(r.done, Span{
+		ID:     r.t.id(),
+		Parent: r.topLocked(),
+		Rank:   r.rank,
+		Name:   name,
+		Kind:   kind,
+		Start:  startNs,
+		End:    endNs,
+		Src:    -1,
+		Dst:    -1,
+		Ctx:    -1,
+	})
+	r.mu.Unlock()
+}
+
+// Event records an instantaneous marker (zero-duration span).
+func (r *Rank) Event(name string, atNs int64) {
+	r.Range(name, KindEvent, atNs, atNs)
+}
+
+// OpenDepth returns the number of currently open spans (diagnostics).
+func (r *Rank) OpenDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Spans returns a copy of the finished spans in completion order.
+func (r *Rank) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.done...)
+}
+
+func (r *Rank) topLocked() uint64 {
+	if len(r.open) == 0 {
+		return 0
+	}
+	return r.open[len(r.open)-1].ID
+}

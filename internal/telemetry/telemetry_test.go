@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tel := New()
+	r := tel.Rank(3)
+	r.Begin("bcast", KindCollective, 100)
+	r.Message("coll", 0, 3, 5, 4096, 110, 900)
+	r.Begin("inner", KindCollective, 120)
+	r.Range("recv.wait", KindWait, 130, 200)
+	r.End(220)
+	r.End(1000)
+	r.Event("session.start", 1100)
+
+	spans := r.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	bcast := byName["bcast"]
+	if bcast.Parent != 0 || bcast.Start != 100 || bcast.End != 1000 || bcast.Rank != 3 {
+		t.Fatalf("bad bcast span: %+v", bcast)
+	}
+	msg := byName["msg:coll"]
+	if msg.Parent != bcast.ID {
+		t.Fatalf("message parent = %d, want bcast id %d", msg.Parent, bcast.ID)
+	}
+	if msg.Src != 3 || msg.Dst != 5 || msg.Bytes != 4096 || msg.Class != "coll" {
+		t.Fatalf("bad message span: %+v", msg)
+	}
+	inner := byName["inner"]
+	if inner.Parent != bcast.ID {
+		t.Fatalf("inner parent = %d, want %d", inner.Parent, bcast.ID)
+	}
+	wait := byName["recv.wait"]
+	if wait.Parent != inner.ID || wait.Kind != KindWait {
+		t.Fatalf("bad wait span: %+v", wait)
+	}
+	ev := byName["session.start"]
+	if ev.Kind != KindEvent || ev.Duration() != 0 || ev.Parent != 0 {
+		t.Fatalf("bad event span: %+v", ev)
+	}
+	if r.OpenDepth() != 0 {
+		t.Fatalf("open depth %d after balanced spans", r.OpenDepth())
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End without Begin should panic")
+		}
+	}()
+	New().Rank(0).End(1)
+}
+
+func TestSpansMergedAndSorted(t *testing.T) {
+	tel := New()
+	tel.Rank(1).Event("b", 200)
+	tel.Rank(0).Event("a", 100)
+	tel.Rank(2).Event("c", 150)
+	spans := tel.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "a" || spans[1].Name != "c" || spans[2].Name != "b" {
+		t.Fatalf("bad order: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("msgs_total", L("rank", "0"))
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if again := reg.Counter("msgs_total", L("rank", "0")); again != c {
+		t.Fatal("same identity should return the same counter")
+	}
+	if other := reg.Counter("msgs_total", L("rank", "1")); other == c {
+		t.Fatal("different labels should return a different counter")
+	}
+	g := reg.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	h := reg.Histogram("sizes", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(10) // boundary is inclusive
+	h.Observe(50)
+	h.Observe(1000)
+	if h.Count() != 4 || h.Sum() != 1065 {
+		t.Fatalf("histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	want := []uint64{2, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", got, want)
+		}
+	}
+	if reg.CounterTotal("msgs_total") != 3 {
+		t.Fatalf("CounterTotal = %d, want 3", reg.CounterTotal("msgs_total"))
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 4, 4)
+	want := []int64{1, 4, 16, 64}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets %v, want %v", b, want)
+		}
+	}
+}
+
+// TestConcurrentMetrics exercises the lock-free instrument paths under
+// the race detector (the Makefile's race tier runs this package).
+func TestConcurrentMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", SizeBuckets)
+	g := reg.Gauge("g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 0 {
+		t.Fatalf("c=%d h=%d g=%d", c.Value(), h.Count(), g.Value())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tel := New()
+	r := tel.Rank(0)
+	r.Begin("reduce", KindCollective, 1000)
+	r.Message("coll", 2, 0, 1, 64, 1100, 2500)
+	r.End(3000)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tel.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var collID, msgParent float64 = -1, -2
+	for _, e := range parsed.TraceEvents {
+		switch e.Name {
+		case "reduce":
+			collID = e.Args["id"].(float64)
+			if e.Ph != "X" || e.Tid != tidCalls {
+				t.Fatalf("bad collective event: %+v", e)
+			}
+		case "msg:coll":
+			msgParent = e.Args["parent"].(float64)
+			if e.Tid != tidMessages || e.Args["bytes"].(float64) != 64 {
+				t.Fatalf("bad message event: %+v", e)
+			}
+		}
+	}
+	if collID != msgParent {
+		t.Fatalf("message parent %v != collective id %v", msgParent, collID)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tel := New()
+	tel.Rank(0).Message("p2p", 0, 0, 1, 128, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tel.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,parent,rank,kind,name") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "message,msg:p2p,10,20,0,1,128,p2p,0") {
+		t.Fatalf("bad row: %q", lines[1])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mpimon_bytes_total", L("rank", "0"), L("class", "p2p")).Add(500)
+	reg.Gauge("mpimon_inflight_requests", L("rank", "0")).Set(2)
+	h := reg.Histogram("mpimon_message_size_bytes", []int64{64, 4096}, L("rank", "0"))
+	h.Observe(10)
+	h.Observe(100)
+	h.Observe(1 << 20)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mpimon_bytes_total counter",
+		`mpimon_bytes_total{class="p2p",rank="0"} 500`,
+		"# TYPE mpimon_inflight_requests gauge",
+		`mpimon_inflight_requests{rank="0"} 2`,
+		"# TYPE mpimon_message_size_bytes histogram",
+		`mpimon_message_size_bytes_bucket{rank="0",le="64"} 1`,
+		`mpimon_message_size_bytes_bucket{rank="0",le="4096"} 2`,
+		`mpimon_message_size_bytes_bucket{rank="0",le="+Inf"} 3`,
+		`mpimon_message_size_bytes_count{rank="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

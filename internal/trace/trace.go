@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mpimon/internal/pml"
 )
 
 // Event is one recorded transmission.
@@ -36,8 +38,9 @@ type Tracer struct {
 // NewTracer builds a tracer for the given world rank.
 func NewTracer(rank int) *Tracer { return &Tracer{rank: rank} }
 
-// Record implements the pml.Recorder signature.
-func (t *Tracer) Record(dst int, bytes int, when int64) {
+// Record implements the pml.Recorder signature; the class is ignored, a
+// trace records the decomposed message stream undifferentiated.
+func (t *Tracer) Record(class pml.Class, dst, bytes int, when int64) {
 	t.mu.Lock()
 	t.evs = append(t.evs, Event{Rank: t.rank, Dst: dst, Bytes: int64(bytes), When: time.Duration(when)})
 	t.mu.Unlock()

@@ -10,14 +10,15 @@ import (
 	"mpimon/internal/mpi"
 	"mpimon/internal/netsim"
 	"mpimon/internal/pml"
+	"mpimon/internal/telemetry"
 )
 
 func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
 
 func TestTracerRecordsAndSorts(t *testing.T) {
 	tr := NewTracer(3)
-	tr.Record(1, 100, int64(ms(5)))
-	tr.Record(2, 200, int64(ms(2)))
+	tr.Record(pml.P2P, 1, 100, int64(ms(5)))
+	tr.Record(pml.P2P, 2, 200, int64(ms(2)))
 	if tr.Len() != 2 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
@@ -122,6 +123,96 @@ func TestPhases(t *testing.T) {
 	}
 }
 
+// TestTraceMatrixAgreesWithTelemetrySpans cross-validates the two
+// post-mortem views of the same run: the flat pml-recorder trace folded
+// into a matrix must carry exactly the per-pair byte totals that the
+// telemetry span tree's message spans carry. The workload mixes explicit
+// point-to-point with collectives, so the agreement also checks that both
+// layers see the decomposed message stream below the collective API.
+func TestTraceMatrixAgreesWithTelemetrySpans(t *testing.T) {
+	const np = 6
+	tel := telemetry.New()
+	w, err := mpi.NewWorld(netsim.PlaFRIM(1), np, mpi.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers := make([]*Tracer, np)
+	err = w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
+		tr := NewTracer(c.Rank())
+		tracers[c.Rank()] = tr
+		c.Proc().Monitor().AddRecorder(tr.Record)
+		next := (c.Rank() + 1) % np
+		if err := c.Send(next, 0, make([]byte, 64*(c.Rank()+1))); err != nil {
+			return err
+		}
+		if _, err := c.Recv((c.Rank()-1+np)%np, 0, nil); err != nil {
+			return err
+		}
+		// A quiet period between the p2p burst and the collective burst,
+		// long enough for the phase detector below.
+		c.Proc().Compute(100 * time.Millisecond)
+		if err := c.Bcast(make([]byte, 4096), 2); err != nil {
+			return err
+		}
+		if err := c.Allreduce(make([]byte, 1024), make([]byte, 1024), mpi.Byte, mpi.OpMax); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var all []Event
+	for _, tr := range tracers {
+		all = append(all, tr.Events()...)
+	}
+	fromTrace, err := Matrix(all, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromSpans := make([]uint64, np*np)
+	var msgSpans int
+	for _, s := range tel.Spans() {
+		if s.Kind != telemetry.KindMessage {
+			continue
+		}
+		msgSpans++
+		if s.Src != s.Rank {
+			t.Fatalf("message span recorded by rank %d claims src %d", s.Rank, s.Src)
+		}
+		if s.Src < 0 || s.Src >= np || s.Dst < 0 || s.Dst >= np {
+			t.Fatalf("message span endpoints out of world: %+v", s)
+		}
+		fromSpans[s.Src*np+s.Dst] += uint64(s.Bytes)
+	}
+	if msgSpans == 0 {
+		t.Fatal("telemetry recorded no message spans")
+	}
+	for i := range fromTrace {
+		if fromTrace[i] != fromSpans[i] {
+			t.Fatalf("pair %d->%d: trace %d bytes, telemetry spans %d bytes",
+				i/np, i%np, fromTrace[i], fromSpans[i])
+		}
+	}
+
+	// The same run exercises phase detection on a real trace: the 100 ms
+	// compute gap must split the merged stream into exactly two phases,
+	// p2p ring first, collectives second.
+	phases := Phases(all, 50*time.Millisecond)
+	if len(phases) != 2 {
+		t.Fatalf("%d phases detected, want 2", len(phases))
+	}
+	if len(phases[0]) != np {
+		t.Fatalf("first phase has %d events, want the %d ring sends", len(phases[0]), np)
+	}
+	if len(phases[1]) <= len(phases[0]) {
+		t.Fatalf("collective phase (%d events) should outnumber the ring phase (%d)",
+			len(phases[1]), len(phases[0]))
+	}
+}
+
 // TestTraceAgreesWithMonitoring runs a real workload with both a tracer
 // and the pml counters and checks the trace folds back into the same
 // matrix — post-mortem and online views of the same traffic.
@@ -136,7 +227,7 @@ func TestTraceAgreesWithMonitoring(t *testing.T) {
 	err = w.RunWithTimeout(time.Minute, func(c *mpi.Comm) error {
 		tr := NewTracer(c.Rank())
 		tracers[c.Rank()] = tr
-		c.Proc().Monitor().SetRecorder(tr.Record)
+		c.Proc().Monitor().AddRecorder(tr.Record)
 		next := (c.Rank() + 1) % np
 		if err := c.Send(next, 0, make([]byte, 100*(c.Rank()+1))); err != nil {
 			return err

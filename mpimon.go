@@ -15,6 +15,7 @@ import (
 	"mpimon/internal/predict"
 	"mpimon/internal/reorder"
 	"mpimon/internal/stencil"
+	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
 	"mpimon/internal/trace"
 	"mpimon/internal/treematch"
@@ -72,6 +73,16 @@ type (
 	SessionState = monitoring.State
 	// MonitorLevel mirrors pml_monitoring_enable.
 	MonitorLevel = pml.Level
+	// CommClass classifies a monitored message (point-to-point,
+	// collective-internal, one-sided).
+	CommClass = pml.Class
+)
+
+// Communication classes, as seen by recorders and the telemetry layer.
+const (
+	ClassP2P  = pml.P2P
+	ClassColl = pml.Coll
+	ClassOsc  = pml.Osc
 )
 
 // Placement and reordering types.
@@ -344,6 +355,39 @@ type UtilizationPredictor = predict.Predictor
 // window of winLen samples).
 func NewUtilizationPredictor(alpha float64, winLen int) (*UtilizationPredictor, error) {
 	return predict.New(alpha, winLen)
+}
+
+// Telemetry is the unified observability hub: per-rank span tracing plus a
+// metrics registry, attached to a world via WithTelemetry and exported with
+// WriteChromeTrace, WriteTelemetryCSV or WritePrometheus.
+type Telemetry = telemetry.Telemetry
+
+// TelemetrySpan is one recorded telemetry span.
+type TelemetrySpan = telemetry.Span
+
+// MetricsRegistry holds the telemetry counters, gauges and histograms.
+type MetricsRegistry = telemetry.Registry
+
+// NewTelemetry builds an empty telemetry hub.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WithTelemetry attaches the hub to a world at construction time; without
+// it the runtime's telemetry hooks reduce to nil checks.
+func WithTelemetry(tel *Telemetry) Option { return mpi.WithTelemetry(tel) }
+
+// WriteChromeTrace writes spans as a Chrome trace-event (Perfetto) file.
+func WriteChromeTrace(w io.Writer, spans []TelemetrySpan) error {
+	return telemetry.WriteChromeTrace(w, spans)
+}
+
+// WriteTelemetryCSV writes spans as CSV.
+func WriteTelemetryCSV(w io.Writer, spans []TelemetrySpan) error {
+	return telemetry.WriteCSV(w, spans)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, r *MetricsRegistry) error {
+	return telemetry.WritePrometheus(w, r)
 }
 
 // Tracer records per-process communication events for post-mortem traces.

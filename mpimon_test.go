@@ -187,7 +187,7 @@ func TestFacadeReconfigure(t *testing.T) {
 
 func TestFacadeTraceRoundTrip(t *testing.T) {
 	tr := NewTracer(0)
-	tr.Record(1, 64, 1000)
+	tr.Record(ClassP2P, 1, 64, 1000)
 	evs := tr.Events()
 	var buf bytes.Buffer
 	if err := WriteTrace(&buf, evs); err != nil {
