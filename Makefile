@@ -1,6 +1,7 @@
 GO ?= go
+BENCHOUT ?= results/BENCH_hotpath.json
 
-.PHONY: build test vet race ci
+.PHONY: build test vet race bench benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -11,11 +12,29 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the race detector over the packages the telemetry layer
-# instruments: the hot paths touched by span/metric recording.
+# race runs the race detector over the concurrent hot paths: the packages
+# the telemetry layer instruments, the pooled message buffers, the sharded
+# NIC counters, and the parallel TreeMatch partitioner.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch
+
+# bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
+# allocation rate), the TreeMatch kernels, and the collective layer — and
+# writes the results as JSON to $(BENCHOUT) so the performance trajectory
+# can be diffed commit to commit (see docs/PERFORMANCE.md).
+bench:
+	@tmp=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench BenchmarkSendRecvAllocs -benchmem ./internal/mpi | tee -a $$tmp && \
+	$(GO) test -run '^$$' -bench '^(BenchmarkTreeMatch|BenchmarkTable1TreeMatchScale|BenchmarkPingPong|BenchmarkCollectives|BenchmarkBarrier48)$$' -benchmem . | tee -a $$tmp && \
+	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < $$tmp && \
+	rm -f $$tmp && echo "wrote $(BENCHOUT)"
+
+# benchsmoke compiles and runs every benchmark exactly once so the harness
+# cannot bit-rot; it measures nothing.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # ci is the gate for a change: static checks, full build, the whole test
-# suite, and the race tier on the instrumented packages.
-ci: vet build test race
+# suite, the race tier on the instrumented packages, and a one-iteration
+# pass over every benchmark.
+ci: vet build test race benchsmoke

@@ -405,6 +405,53 @@ func BenchmarkPingPong(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectives measures the host cost and steady-state allocations
+// of one collective round on 48 simulated ranks. The internal payloads of
+// the tree/ring algorithms ride the pooled message buffers, so allocs/op
+// here is the pool-miss rate of the collective layer.
+func BenchmarkCollectives(b *testing.B) {
+	const np = 48
+	bench := func(b *testing.B, setup func(c *mpi.Comm) func() error) {
+		w, err := mpi.NewWorld(netsim.PlaFRIM(2), np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := w.Run(func(c *mpi.Comm) error {
+			iter := setup(c)
+			for i := 0; i < b.N; i++ {
+				if err := iter(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("bcast-64KiB", func(b *testing.B) {
+		bench(b, func(c *mpi.Comm) func() error {
+			buf := make([]byte, 1<<16)
+			return func() error { return c.Bcast(buf, 0) }
+		})
+	})
+	b.Run("allreduce-8KiB", func(b *testing.B) {
+		bench(b, func(c *mpi.Comm) func() error {
+			send := make([]byte, 1<<13)
+			recv := make([]byte, 1<<13)
+			return func() error { return c.Allreduce(send, recv, mpi.Byte, mpi.OpMax) }
+		})
+	})
+	b.Run("alltoall-1KiB", func(b *testing.B) {
+		bench(b, func(c *mpi.Comm) func() error {
+			send := make([]byte, np<<10)
+			recv := make([]byte, np<<10)
+			return func() error { return c.Alltoall(send, recv) }
+		})
+	})
+}
+
 // BenchmarkCGClassSReal measures a full verified class-S NAS CG run on 16
 // simulated ranks (real numerics).
 func BenchmarkCGClassSReal(b *testing.B) {

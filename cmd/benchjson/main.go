@@ -1,0 +1,53 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a machine-readable JSON document, so benchmark results can be
+// checked in (results/BENCH_hotpath.json) and diffed across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -out results/BENCH_hotpath.json
+//
+// Every benchmark line becomes one record carrying the package, the
+// benchmark name (sub-benchmark path included, GOMAXPROCS suffix split
+// off), the iteration count, and a metrics map keyed by unit: the standard
+// ns/op, B/op and allocs/op plus any custom b.ReportMetric units (speedup_x,
+// comm_ratio, ...). Map keys marshal sorted, so the output is diffable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

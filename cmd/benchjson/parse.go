@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Doc is the top-level structure of BENCH_hotpath.json.
+type Doc struct {
+	Schema     string   `json:"schema"` // "mpimon-bench/1"
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Record is one benchmark line. Metrics holds every reported unit —
+// "ns/op", "B/op", "allocs/op" and custom b.ReportMetric units alike.
+type Record struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parse consumes `go test -bench` text output. Non-benchmark lines (PASS,
+// ok, test logs) are ignored; goos/goarch/cpu/pkg headers are tracked so
+// each record knows its package.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Schema: "mpimon-bench/1", Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				continue // a benchmark that printed no measurements
+			}
+			rec.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, *rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseBenchLine splits "BenchmarkName-8  100  123.4 ns/op  0 B/op ..."
+// into a Record. Returns (nil, nil) for a bare "BenchmarkName" line with no
+// fields (emitted when a benchmark only groups sub-benchmarks).
+func parseBenchLine(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%q: bad iteration count: %v", line, err)
+	}
+	if (len(fields)-2)%2 != 0 {
+		return nil, fmt.Errorf("%q: odd value/unit field count", line)
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: bad value %q: %v", line, fields[i], err)
+		}
+		metrics[fields[i+1]] = v
+	}
+	return &Record{Name: name, Procs: procs, Iters: iters, Metrics: metrics}, nil
+}

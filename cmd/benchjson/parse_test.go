@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mpimon/internal/mpi
+cpu: Example CPU @ 3.00GHz
+BenchmarkSendRecvAllocs/size=64-8   	  756121	      1546 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSendRecvAllocs/size=1048576-8	    2000	    601234 ns/op	       3 B/op	       0 allocs/op
+PASS
+ok  	mpimon/internal/mpi	5.210s
+goos: linux
+goarch: amd64
+pkg: mpimon
+BenchmarkFig5Reduce-8   	       1	 12345678 ns/op	        1.95 speedup_x
+BenchmarkTable1TreeMatchScale/4096-8 	      45	  25012345 ns/op
+PASS
+ok  	mpimon	9.001s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "mpimon-bench/1" || doc.Goos != "linux" || doc.CPU != "Example CPU @ 3.00GHz" {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d records, want 4", len(doc.Benchmarks))
+	}
+	r := doc.Benchmarks[0]
+	if r.Pkg != "mpimon/internal/mpi" || r.Name != "SendRecvAllocs/size=64" || r.Procs != 8 || r.Iters != 756121 {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 1546 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bad metrics: %+v", r.Metrics)
+	}
+	if got := doc.Benchmarks[2]; got.Pkg != "mpimon" || got.Metrics["speedup_x"] != 1.95 {
+		t.Fatalf("custom metric lost: %+v", got)
+	}
+	if got := doc.Benchmarks[3]; got.Name != "Table1TreeMatchScale/4096" || got.Metrics["ns/op"] != 25012345 {
+		t.Fatalf("sub-benchmark mangled: %+v", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 10 12 ns/op 3", // dangling value without a unit
+		"BenchmarkX-8 10 twelve ns/op",
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseSkipsBareGroupLine(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkCollectives\nBenchmarkCollectives/bcast-64KiB-8 100 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "Collectives/bcast-64KiB" {
+		t.Fatalf("bad records: %+v", doc.Benchmarks)
+	}
+}

@@ -18,13 +18,19 @@ func main() {
 	sizes := flag.String("sizes", "1000,2000,5000,10000,20000,50000,100000,200000", "buffer sizes in 1000-int units")
 	reps := flag.Int("reps", 3, "repetitions (median reported)")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-collopt:", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.DefaultCollOpt
 	cfg.Op = *op
 	cfg.Reps = *reps
-	var err error
 	if cfg.NPs, err = exp.ParseInts(*nps); err == nil {
 		cfg.BufSizes, err = exp.ParseInts(*sizes)
 	}
@@ -38,6 +44,10 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintCollOpt(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-collopt:", err)
+		os.Exit(1)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-collopt:", err)
 		os.Exit(1)

@@ -19,8 +19,15 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "message schedule seed")
 	cumulative := flag.Bool("cumulative", false, "print Fig. 3 running sums instead of the Fig. 2 series")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-hwcounters:", err)
+		os.Exit(1)
+	}
 
 	res, err := exp.HWCounters(cfg)
 	if err != nil {
@@ -28,6 +35,10 @@ func main() {
 		os.Exit(1)
 	}
 	res.PrintSeries(os.Stdout, *cumulative)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-hwcounters:", err)
+		os.Exit(1)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-hwcounters:", err)
 		os.Exit(1)

@@ -19,8 +19,15 @@ func main() {
 	niter := flag.Int("niter", 5, "outer iterations (0 = class default)")
 	seed := flag.Int64("seed", 42, "random-mapping seed")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.CGConfig{
 		Classes:  exp.ParseStrings(*classes),
@@ -28,7 +35,6 @@ func main() {
 		Niter:    *niter,
 		Seed:     *seed,
 	}
-	var err error
 	if cfg.NPs, err = exp.ParseInts(*nps); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
 		os.Exit(1)
@@ -39,6 +45,10 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintCG(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
+		os.Exit(1)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-nascg:", err)
 		os.Exit(1)

@@ -17,12 +17,18 @@ func main() {
 	reps := flag.Int("reps", 180, "measurements per configuration")
 	self := flag.Bool("self", false, "benchmark the telemetry subsystem itself instead of the monitoring layer (uses the first -np and -sizes values)")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.DefaultOverhead
 	cfg.Reps = *reps
-	var err error
 	if cfg.NPs, err = exp.ParseInts(*nps); err == nil {
 		cfg.Sizes, err = exp.ParseInts(*sizes)
 	}
@@ -38,6 +44,10 @@ func main() {
 			os.Exit(1)
 		}
 		exp.PrintTelemetryOverhead(os.Stdout, tc, res)
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+			os.Exit(1)
+		}
 		if err := flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "exp-overhead:", err)
 			os.Exit(1)
@@ -50,6 +60,10 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintOverhead(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+		os.Exit(1)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
 		os.Exit(1)

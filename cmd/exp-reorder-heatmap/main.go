@@ -21,11 +21,17 @@ func main() {
 	// full grid).
 	iters := flag.String("iters", "1,10,100,1000", "iteration counts")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)
+		os.Exit(1)
+	}
 
 	var cfg exp.HeatmapConfig
-	var err error
 	if cfg.NPs, err = exp.ParseInts(*nps); err == nil {
 		if cfg.BufSizes, err = exp.ParseInts(*bufs); err == nil {
 			cfg.Iters, err = exp.ParseInts(*iters)
@@ -44,6 +50,10 @@ func main() {
 		exp.RenderHeatmap(os.Stdout, cells)
 	} else {
 		exp.PrintHeatmap(os.Stdout, cells)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)
+		os.Exit(1)
 	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-reorder-heatmap:", err)

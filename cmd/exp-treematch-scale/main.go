@@ -14,11 +14,17 @@ import (
 func main() {
 	orders := flag.String("orders", "8192,16384,32768,65536", "matrix orders")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.DefaultTMScale
-	var err error
 	if cfg.Orders, err = exp.ParseInts(*orders); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
 		os.Exit(1)
@@ -29,6 +35,10 @@ func main() {
 		os.Exit(1)
 	}
 	exp.PrintTMScale(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
 	if err := flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
 		os.Exit(1)

@@ -15,6 +15,8 @@
 // run's metrics in Prometheus text format at ADDR/metrics after the
 // workload completes, and -json replaces the human-readable report with a
 // JSON document carrying the matrix and its matstat analysis.
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the run
+// (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"mpimon/internal/cg"
+	"mpimon/internal/exp"
 	"mpimon/internal/matstat"
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
@@ -56,6 +59,8 @@ type config struct {
 	telemetry string
 	serve     string
 	seed      int64
+	cpuprof   string
+	memprof   string
 	stdout    io.Writer // defaults to os.Stdout
 }
 
@@ -76,6 +81,8 @@ func main() {
 	flag.StringVar(&cfg.telemetry, "telemetry", "", "write the telemetry span tree to this file (.csv for CSV, Chrome trace JSON otherwise)")
 	flag.StringVar(&cfg.serve, "serve", "", "after the run, serve Prometheus metrics on this address (e.g. :9464)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random placement seed")
+	flag.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&cfg.memprof, "memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpimon:", err)
@@ -114,7 +121,15 @@ func run(cfg config) error {
 	if cfg.stdout == nil {
 		cfg.stdout = os.Stdout
 	}
+	stopProf, err := exp.ProfileSetup(cfg.cpuprof, cfg.memprof)
+	if err != nil {
+		return err
+	}
 	rep, tel, err := execute(&cfg)
+	// Profiles cover the workload, not the reporting (or a -serve loop).
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"io"
+	"log"
+	"sync/atomic"
 	"time"
 
 	"mpimon/internal/topology"
@@ -37,6 +39,19 @@ type TMRow struct {
 // order cores (nodes of 32 cores), as when reordering that many MPI
 // processes.
 func TreeMatchScale(cfg TMScaleConfig) ([]TMRow, error) {
+	// Surface capped-refinement fallbacks (the former silent refineBudget
+	// cliff) so a degraded mapping of a huge matrix is visible in the log.
+	var degraded, skipped atomic.Int64
+	prev := treematch.OnRefineDegrade
+	treematch.OnRefineDegrade = func(d treematch.RefineDegrade) {
+		degraded.Add(1)
+		skipped.Add(int64(d.PairsSkipped))
+		if prev != nil {
+			prev(d)
+		}
+	}
+	defer func() { treematch.OnRefineDegrade = prev }()
+
 	var rows []TMRow
 	for _, order := range cfg.Orders {
 		m := workloads.ClusteredSparse(order, cfg.ClusterSize, 1000, 1, cfg.Seed)
@@ -44,9 +59,15 @@ func TreeMatchScale(cfg TMScaleConfig) ([]TMRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		degraded.Store(0)
+		skipped.Store(0)
 		t0 := time.Now()
 		if _, err := treematch.MapTree(m, topo.FullTree()); err != nil {
 			return nil, err
+		}
+		if n := degraded.Load(); n > 0 {
+			log.Printf("treematch-scale: order %d: refinement capped in %d subproblems (%d part pairs left unrefined)",
+				order, n, skipped.Load())
 		}
 		rows = append(rows, TMRow{Order: order, Seconds: time.Since(t0).Seconds()})
 	}

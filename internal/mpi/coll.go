@@ -21,10 +21,22 @@ const (
 // MPI implementations protect collectives from stray user messages.
 func (c *Comm) collCtx() int { return -(c.ctx + 1) }
 
+// sendOn sends on an explicit context, taking ownership of data (the caller
+// must not touch it again); data may be nil for size-only messages.
 func (c *Comm) sendOn(ctx, dst, tag int, data []byte, size int) error {
 	saved := c.ctx
 	c.ctx = ctx
-	err := c.send(dst, tag, data, size, c.p.class())
+	err := c.send(dst, tag, ownedMsg(data, size), c.p.class())
+	c.ctx = saved
+	return err
+}
+
+// sendCopyOn sends a copy of data on an explicit context through the pooled
+// message buffers; the caller keeps ownership of data.
+func (c *Comm) sendCopyOn(ctx, dst, tag int, data []byte) error {
+	saved := c.ctx
+	c.ctx = ctx
+	err := c.send(dst, tag, cloneMsg(data), c.p.class())
 	c.ctx = saved
 	return err
 }
@@ -120,11 +132,13 @@ func (c *Comm) bcast(buf []byte, size, root int, carry bool) error {
 	for mask > 0 {
 		if vrank+mask < n {
 			dst := (c.rank + mask) % n
-			var payload []byte
+			var err error
 			if carry {
-				payload = append([]byte(nil), buf...)
+				err = c.sendCopyOn(ctx, dst, tagBcast, buf)
+			} else {
+				err = c.sendOn(ctx, dst, tagBcast, nil, size)
 			}
-			if err := c.sendOn(ctx, dst, tagBcast, payload, size); err != nil {
+			if err != nil {
 				return err
 			}
 		}
@@ -282,7 +296,7 @@ func (c *Comm) gather(send, recv []byte, root int) error {
 	ctx := c.collCtx()
 	blk := len(send)
 	if c.rank != root {
-		return c.sendOn(ctx, root, tagGather, append([]byte(nil), send...), blk)
+		return c.sendCopyOn(ctx, root, tagGather, send)
 	}
 	if len(recv) != n*blk {
 		return fmt.Errorf("mpi: gather root recv buffer has %d bytes, want %d", len(recv), n*blk)
@@ -353,8 +367,7 @@ func (c *Comm) allgather(send, recv []byte) error {
 	for s := 0; s < n-1; s++ {
 		sendBlk := (c.rank - s + n) % n
 		recvBlk := (c.rank - s - 1 + n) % n
-		payload := append([]byte(nil), recv[sendBlk*blk:(sendBlk+1)*blk]...)
-		if err := c.sendOn(ctx, right, tagAllgat+s, payload, blk); err != nil {
+		if err := c.sendCopyOn(ctx, right, tagAllgat+s, recv[sendBlk*blk:(sendBlk+1)*blk]); err != nil {
 			return err
 		}
 		if _, err := c.recvOn(ctx, left, tagAllgat+s, recv[recvBlk*blk:(recvBlk+1)*blk]); err != nil {
@@ -414,7 +427,7 @@ func (c *Comm) Scatter(send, recv []byte, root int) error {
 				copy(recv, send[i*blk:(i+1)*blk])
 				continue
 			}
-			if err := c.sendOn(ctx, i, tagScatter, append([]byte(nil), send[i*blk:(i+1)*blk]...), blk); err != nil {
+			if err := c.sendCopyOn(ctx, i, tagScatter, send[i*blk:(i+1)*blk]); err != nil {
 				return err
 			}
 		}
@@ -444,8 +457,7 @@ func (c *Comm) Alltoall(send, recv []byte) error {
 	for s := 1; s < n; s++ {
 		dst := (c.rank + s) % n
 		src := (c.rank - s + n) % n
-		payload := append([]byte(nil), send[dst*blk:(dst+1)*blk]...)
-		if err := c.sendOn(ctx, dst, tagAlltoal+s, payload, blk); err != nil {
+		if err := c.sendCopyOn(ctx, dst, tagAlltoal+s, send[dst*blk:(dst+1)*blk]); err != nil {
 			return err
 		}
 		if _, err := c.recvOn(ctx, src, tagAlltoal+s, recv[src*blk:(src+1)*blk]); err != nil {

@@ -55,7 +55,7 @@ func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 	switch {
 	case c.rank < 2*rem && c.rank%2 == 0:
 		// Sends its data to rank+1 and sits out.
-		if err := c.sendOn(ctx, c.rank+1, tagRsct, append([]byte(nil), recv...), size); err != nil {
+		if err := c.sendCopyOn(ctx, c.rank+1, tagRsct, recv); err != nil {
 			return err
 		}
 	case c.rank < 2*rem:
@@ -80,7 +80,7 @@ func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 				peer = newPeer * 2
 				peer++ // odd ranks of the folded region hold the data
 			}
-			if _, err := c.sendrecvOn(ctx, peer, tagRsct+mask, append([]byte(nil), recv...), size, peer, tagRsct+mask, buf); err != nil {
+			if _, err := c.sendrecvOn(ctx, peer, tagRsct+mask, recv, peer, tagRsct+mask, buf); err != nil {
 				return err
 			}
 			if err := reduceInto(recv, buf, dt, op); err != nil {
@@ -96,7 +96,7 @@ func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 				return err
 			}
 		} else {
-			if err := c.sendOn(ctx, c.rank-1, tagRsct+1<<19, append([]byte(nil), recv...), size); err != nil {
+			if err := c.sendCopyOn(ctx, c.rank-1, tagRsct+1<<19, recv); err != nil {
 				return err
 			}
 		}
@@ -104,9 +104,10 @@ func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 	return nil
 }
 
-// sendrecvOn is a combined exchange on an explicit context.
-func (c *Comm) sendrecvOn(ctx, dst, sendTag int, data []byte, size int, src, recvTag int, buf []byte) (Status, error) {
-	if err := c.sendOn(ctx, dst, sendTag, data, size); err != nil {
+// sendrecvOn is a combined exchange on an explicit context; the send
+// payload is copied through the pooled buffers (the caller keeps data).
+func (c *Comm) sendrecvOn(ctx, dst, sendTag int, data []byte, src, recvTag int, buf []byte) (Status, error) {
+	if err := c.sendCopyOn(ctx, dst, sendTag, data); err != nil {
 		return Status{}, err
 	}
 	return c.recvOn(ctx, src, recvTag, buf)
@@ -139,8 +140,7 @@ func (c *Comm) ReduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
 	for s := 1; s < n; s++ {
 		dst := (c.rank + s) % n
 		src := (c.rank - s + n) % n
-		payload := append([]byte(nil), send[dst*blk:(dst+1)*blk]...)
-		if _, err := c.sendrecvOn(ctx, dst, tagRsct+s, payload, blk, src, tagRsct+s, buf); err != nil {
+		if _, err := c.sendrecvOn(ctx, dst, tagRsct+s, send[dst*blk:(dst+1)*blk], src, tagRsct+s, buf); err != nil {
 			return err
 		}
 		if err := reduceInto(acc, buf, dt, op); err != nil {
@@ -177,7 +177,7 @@ func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
 		copy(recv, buf)
 	}
 	if c.rank < len(c.group)-1 {
-		return c.sendOn(ctx, c.rank+1, tagScan, append([]byte(nil), recv...), len(recv))
+		return c.sendCopyOn(ctx, c.rank+1, tagScan, recv)
 	}
 	return nil
 }
@@ -205,15 +205,14 @@ func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 		copy(recv, prefix)
 	}
 	if c.rank < n-1 {
-		out := append([]byte(nil), send...)
-		if prefix != nil {
-			tmp := append([]byte(nil), prefix...)
-			if err := reduceInto(tmp, send, dt, op); err != nil {
-				return err
-			}
-			out = tmp
+		if prefix == nil {
+			return c.sendCopyOn(ctx, c.rank+1, tagScan, send)
 		}
-		return c.sendOn(ctx, c.rank+1, tagScan, out, len(out))
+		tmp := append([]byte(nil), prefix...)
+		if err := reduceInto(tmp, send, dt, op); err != nil {
+			return err
+		}
+		return c.sendOn(ctx, c.rank+1, tagScan, tmp, len(tmp))
 	}
 	return nil
 }
@@ -281,8 +280,7 @@ func (c *Comm) BcastSAG(buf []byte, root int) error {
 			if hi > n {
 				hi = n
 			}
-			payload := append([]byte(nil), buf[cv*blk:hi*blk]...)
-			if err := c.sendOn(ctx, toReal(cv), tagBsag, payload, len(payload)); err != nil {
+			if err := c.sendCopyOn(ctx, toReal(cv), tagBsag, buf[cv*blk:hi*blk]); err != nil {
 				return err
 			}
 		}
@@ -295,8 +293,7 @@ func (c *Comm) BcastSAG(buf []byte, root int) error {
 	for s := 0; s < n-1; s++ {
 		sendBlk := (vrank - s + n) % n
 		recvBlk := (vrank - s - 1 + n) % n
-		payload := append([]byte(nil), buf[sendBlk*blk:(sendBlk+1)*blk]...)
-		if err := c.sendOn(ctx, right, tagBsag+1+s, payload, blk); err != nil {
+		if err := c.sendCopyOn(ctx, right, tagBsag+1+s, buf[sendBlk*blk:(sendBlk+1)*blk]); err != nil {
 			return err
 		}
 		if _, err := c.recvOn(ctx, left, tagBsag+1+s, buf[recvBlk*blk:(recvBlk+1)*blk]); err != nil {
@@ -333,9 +330,8 @@ func (c *Comm) AllgatherRD(send, recv []byte) error {
 		lo := (c.rank &^ (mask - 1)) * blk // aligned start of held range
 		held := mask * blk
 		start := (c.rank &^ (2*mask - 1)) * blk // range after the round
-		payload := append([]byte(nil), recv[lo:lo+held]...)
 		peerLo := (peer &^ (mask - 1)) * blk
-		if err := c.sendOn(ctx, peer, tagAllgat+1<<10+mask, payload, held); err != nil {
+		if err := c.sendCopyOn(ctx, peer, tagAllgat+1<<10+mask, recv[lo:lo+held]); err != nil {
 			return err
 		}
 		if _, err := c.recvOn(ctx, peer, tagAllgat+1<<10+mask, recv[peerLo:peerLo+held]); err != nil {
@@ -362,7 +358,7 @@ func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int)
 	}
 	ctx := c.collCtx()
 	if c.rank != root {
-		return c.sendOn(ctx, root, tagGathv, append([]byte(nil), send...), len(send))
+		return c.sendCopyOn(ctx, root, tagGathv, send)
 	}
 	if len(counts) != n || len(displs) != n {
 		return fmt.Errorf("mpi: gatherv needs %d counts and displs, got %d/%d", n, len(counts), len(displs))
@@ -418,8 +414,7 @@ func (c *Comm) Scatterv(send []byte, counts, displs []int, recv []byte, root int
 			copy(recv, send[displs[i]:displs[i]+counts[i]])
 			continue
 		}
-		payload := append([]byte(nil), send[displs[i]:displs[i]+counts[i]]...)
-		if err := c.sendOn(ctx, i, tagGathv, payload, counts[i]); err != nil {
+		if err := c.sendCopyOn(ctx, i, tagGathv, send[displs[i]:displs[i]+counts[i]]); err != nil {
 			return err
 		}
 	}

@@ -37,8 +37,7 @@ func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcoun
 	for s := 1; s < n; s++ {
 		dst := (c.rank + s) % n
 		src := (c.rank - s + n) % n
-		payload := append([]byte(nil), send[sdispls[dst]:sdispls[dst]+scounts[dst]]...)
-		if err := c.sendOn(ctx, dst, tagAlltoallv+s, payload, scounts[dst]); err != nil {
+		if err := c.sendCopyOn(ctx, dst, tagAlltoallv+s, send[sdispls[dst]:sdispls[dst]+scounts[dst]]); err != nil {
 			return err
 		}
 		st, err := c.recvOn(ctx, src, tagAlltoallv+s, recv[rdispls[src]:rdispls[src]+rcounts[src]])
@@ -149,8 +148,7 @@ func (c *Comm) Allgatherv(send []byte, recv []byte, counts, displs []int) error 
 	for s := 0; s < n-1; s++ {
 		sendBlk := (c.rank - s + n) % n
 		recvBlk := (c.rank - s - 1 + n) % n
-		payload := append([]byte(nil), recv[displs[sendBlk]:displs[sendBlk]+counts[sendBlk]]...)
-		if err := c.sendOn(ctx, right, tagAllgat+1<<12+s, payload, counts[sendBlk]); err != nil {
+		if err := c.sendCopyOn(ctx, right, tagAllgat+1<<12+s, recv[displs[sendBlk]:displs[sendBlk]+counts[sendBlk]]); err != nil {
 			return err
 		}
 		if _, err := c.recvOn(ctx, left, tagAllgat+1<<12+s, recv[displs[recvBlk]:displs[recvBlk]+counts[recvBlk]]); err != nil {

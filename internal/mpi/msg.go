@@ -17,6 +17,9 @@ type message struct {
 	data    []byte
 	arrival int64
 	sentAt  int64 // sender's virtual clock at injection (telemetry latency)
+	// pclass is the sync.Pool class the message recycles through after the
+	// consuming receive (see bufpool.go); poolNone disables recycling.
+	pclass int8
 }
 
 func (m *message) matches(ctx, src, tag int) bool {

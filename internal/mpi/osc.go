@@ -65,11 +65,11 @@ func (w *Win) checkOpen() error {
 }
 
 // oscSend transmits a one-sided message, monitored with class Osc. It
-// takes ownership of data.
-func (w *Win) oscSend(dst, tag int, data []byte) error {
+// takes ownership of m (built with getMsg/cloneMsg).
+func (w *Win) oscSend(dst, tag int, m *message) error {
 	t0 := w.c.p.enterMPI()
 	defer w.c.p.leaveMPI(t0)
-	return w.c.send(dst, tag, data, len(data), pml.Osc)
+	return w.c.send(dst, tag, m, pml.Osc)
 }
 
 // Put writes data into the target's window buffer at the given byte offset.
@@ -94,13 +94,14 @@ func (w *Win) sendData(dst, offset int, data []byte, kind byte, dt Datatype, op 
 	if offset < 0 {
 		return fmt.Errorf("mpi: negative window offset %d", offset)
 	}
-	payload := make([]byte, dataHeader+len(data))
+	m := getMsg(dataHeader+len(data), true)
+	payload := m.data
 	payload[0] = kind
 	binary.LittleEndian.PutUint64(payload[1:], uint64(offset))
 	binary.LittleEndian.PutUint32(payload[9:], uint32(dt))
 	binary.LittleEndian.PutUint32(payload[13:], uint32(op))
 	copy(payload[dataHeader:], data)
-	if err := w.oscSend(dst, tagData, payload); err != nil {
+	if err := w.oscSend(dst, tagData, m); err != nil {
 		return err
 	}
 	w.putsTo[dst]++
@@ -116,10 +117,10 @@ func (w *Win) Get(dst, offset int, buf []byte) error {
 	if err := w.c.checkRank(dst, "target"); err != nil {
 		return err
 	}
-	req := make([]byte, 16)
-	binary.LittleEndian.PutUint64(req, uint64(offset))
-	binary.LittleEndian.PutUint64(req[8:], uint64(len(buf)))
-	if err := w.oscSend(dst, tagGetReq, req); err != nil {
+	m := getMsg(16, true)
+	binary.LittleEndian.PutUint64(m.data, uint64(offset))
+	binary.LittleEndian.PutUint64(m.data[8:], uint64(len(buf)))
+	if err := w.oscSend(dst, tagGetReq, m); err != nil {
 		return err
 	}
 	w.getsTo[dst]++
@@ -240,7 +241,7 @@ func (w *Win) serveGet(src int) error {
 	if off < 0 || length < 0 || off+length > len(w.buf) {
 		return fmt.Errorf("mpi: get of %d bytes at offset %d outside window of %d bytes", length, off, len(w.buf))
 	}
-	return w.oscSend(src, tagGetRep, append([]byte(nil), w.buf[off:off+length]...))
+	return w.oscSend(src, tagGetRep, cloneMsg(w.buf[off:off+length]))
 }
 
 // Free releases the window after a final synchronization. Collective.

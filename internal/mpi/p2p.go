@@ -23,8 +23,7 @@ type Status struct {
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	buf := append([]byte(nil), data...)
-	return c.send(dst, tag, buf, len(data), c.p.class())
+	return c.send(dst, tag, cloneMsg(data), c.p.class())
 }
 
 // SendN transmits a message carrying only a logical payload size, with no
@@ -37,24 +36,29 @@ func (c *Comm) SendN(dst, tag, size int) error {
 	if size < 0 {
 		return fmt.Errorf("mpi: negative message size %d", size)
 	}
-	return c.send(dst, tag, nil, size, c.p.class())
+	return c.send(dst, tag, ownedMsg(nil, size), c.p.class())
 }
 
-// send is the common path under Send/SendN/collectives/one-sided. The
-// monitoring component records the message at the instant it is buffered to
-// be sent, before the transfer itself — the same interposition point as the
-// Open MPI pml monitoring component.
-func (c *Comm) send(dst, tag int, data []byte, size int, class pml.Class) error {
+// send is the common path under Send/SendN/collectives/one-sided. It takes
+// ownership of m (built with cloneMsg/ownedMsg/getMsg) and enqueues it at
+// the destination; the consuming receive recycles it. The monitoring
+// component records the message at the instant it is buffered to be sent,
+// before the transfer itself — the same interposition point as the Open MPI
+// pml monitoring component.
+func (c *Comm) send(dst, tag int, m *message, class pml.Class) error {
 	if err := c.checkRank(dst, "destination"); err != nil {
+		m.release()
 		return err
 	}
 	if tag < 0 {
+		m.release()
 		return fmt.Errorf("mpi: send tag %d must be non-negative", tag)
 	}
 	p := c.p
 	w := p.world
 	dstWorld := c.group[dst]
 	dstProc := w.procs[dstWorld]
+	size := m.size
 
 	p.clock += int64(w.mach.SendOverhead)
 	p.mon.Record(class, dstWorld, size, p.clock)
@@ -70,7 +74,9 @@ func (c *Comm) send(dst, tag int, data []byte, size int, class pml.Class) error 
 		cb.Add(uint64(size))
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 	}
-	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival, sentAt: sentAt})
+	m.src, m.tag, m.ctx = c.rank, tag, c.ctx
+	m.sentAt, m.arrival = sentAt, arrival
+	dstProc.queue.put(m)
 	return nil
 }
 
@@ -105,10 +111,12 @@ func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
 	st := Status{Source: m.src, Tag: m.tag, Size: m.size}
 	if buf != nil {
 		if m.size > len(buf) {
+			m.release()
 			return st, fmt.Errorf("mpi: message of %d bytes truncated by %d-byte receive buffer", m.size, len(buf))
 		}
 		copy(buf, m.data)
 	}
+	m.release()
 	return st, nil
 }
 
@@ -161,8 +169,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) (Status, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	buf := append([]byte(nil), sendData...)
-	if err := c.send(dst, sendTag, buf, len(sendData), c.p.class()); err != nil {
+	if err := c.send(dst, sendTag, cloneMsg(sendData), c.p.class()); err != nil {
 		return Status{}, err
 	}
 	return c.recv(src, recvTag, recvBuf)
@@ -172,7 +179,7 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, rec
 func (c *Comm) SendrecvN(dst, sendTag, sendSize, src, recvTag int) (Status, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	if err := c.send(dst, sendTag, nil, sendSize, c.p.class()); err != nil {
+	if err := c.send(dst, sendTag, ownedMsg(nil, sendSize), c.p.class()); err != nil {
 		return Status{}, err
 	}
 	return c.recv(src, recvTag, nil)
@@ -209,8 +216,7 @@ func (r *Request) finish() {
 func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	buf := append([]byte(nil), data...)
-	return c.isend(dst, tag, buf, len(data))
+	return c.isend(dst, tag, cloneMsg(data))
 }
 
 // IsendN is Isend with a logical payload size only.
@@ -220,20 +226,23 @@ func (c *Comm) IsendN(dst, tag, size int) (*Request, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("mpi: negative message size %d", size)
 	}
-	return c.isend(dst, tag, nil, size)
+	return c.isend(dst, tag, ownedMsg(nil, size))
 }
 
-func (c *Comm) isend(dst, tag int, data []byte, size int) (*Request, error) {
+func (c *Comm) isend(dst, tag int, m *message) (*Request, error) {
 	if err := c.checkRank(dst, "destination"); err != nil {
+		m.release()
 		return nil, err
 	}
 	if tag < 0 {
+		m.release()
 		return nil, fmt.Errorf("mpi: send tag %d must be non-negative", tag)
 	}
 	p := c.p
 	w := p.world
 	dstWorld := c.group[dst]
 	dstProc := w.procs[dstWorld]
+	size := m.size
 
 	class := p.class()
 	p.clock += int64(w.mach.SendOverhead)
@@ -249,7 +258,9 @@ func (c *Comm) isend(dst, tag int, data []byte, size int) (*Request, error) {
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 		p.tm.inflight.Inc()
 	}
-	dstProc.queue.put(&message{src: c.rank, tag: tag, ctx: c.ctx, size: size, data: data, arrival: arrival, sentAt: sentAt})
+	m.src, m.tag, m.ctx = c.rank, tag, c.ctx
+	m.sentAt, m.arrival = sentAt, arrival
+	dstProc.queue.put(m)
 	return &Request{c: c, isSend: true, freeAt: senderFree, tracked: tracked}, nil
 }
 
@@ -333,11 +344,13 @@ func (r *Request) Test() (Status, bool, error) {
 	r.st = Status{Source: m.src, Tag: m.tag, Size: m.size}
 	if r.buf != nil {
 		if m.size > len(r.buf) {
+			m.release()
 			r.err = fmt.Errorf("mpi: message of %d bytes truncated by %d-byte receive buffer", m.size, len(r.buf))
 			return r.st, true, r.err
 		}
 		copy(r.buf, m.data)
 	}
+	m.release()
 	return r.st, true, nil
 }
 

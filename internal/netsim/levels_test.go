@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"mpimon/internal/topology"
+)
+
+// TestLevelTableMatchesTopology checks the memoized core-pair level table
+// against Topology.SharedLevel for every pair, including a machine with a
+// switch level above the nodes (node depth 2).
+func TestLevelTableMatchesTopology(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.MustNew(2, 2),
+		topology.MustNew(4, 2, 3),
+	}
+	if md, err := topology.NewWithNodeDepth(2, 2, 3, 2, 2); err != nil {
+		t.Fatal(err)
+	} else {
+		topos = append(topos, md)
+	}
+	for _, topo := range topos {
+		n, err := NewNetwork(Generic(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := topo.Leaves()
+		for a := 0; a < leaves; a++ {
+			for b := 0; b < leaves; b++ {
+				if got, want := n.sharedLevel(a, b), topo.SharedLevel(a, b); got != want {
+					t.Fatalf("topo %v: sharedLevel(%d,%d) = %d, want %d", topo, a, b, got, want)
+				}
+			}
+		}
+		if n.levelTab == nil {
+			t.Fatalf("topo %v: expected a memoized level table", topo)
+		}
+	}
+}
+
+// TestLevelTableFallback checks that machines beyond the table cap still
+// answer correctly through the direct computation.
+func TestLevelTableFallback(t *testing.T) {
+	topo := topology.MustNew(256, 2, 6) // 3072 leaves > maxLevelTabLeaves
+	n, err := NewNetwork(Generic(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 0}, {0, 11}, {0, 12}, {5, 3071}, {3070, 3071}} {
+		if got, want := n.sharedLevel(pair[0], pair[1]), topo.SharedLevel(pair[0], pair[1]); got != want {
+			t.Fatalf("sharedLevel(%d,%d) = %d, want %d", pair[0], pair[1], got, want)
+		}
+	}
+	if n.levelTab != nil {
+		t.Fatal("table should not be built beyond maxLevelTabLeaves")
+	}
+}
+
+// TestShardedCountersSum drives concurrent inter-node transfers from every
+// core of a node (different counter shards) and checks the summed hardware
+// counters are exact.
+func TestShardedCountersSum(t *testing.T) {
+	topo := topology.MustNew(2, 2, 8) // 16 cores per node
+	m := Generic(topo)
+	m.Contention = false
+	n, err := NewNetwork(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perCore = 200
+	const size = 1000
+	var wg sync.WaitGroup
+	for core := 0; core < 16; core++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			for i := 0; i < perCore; i++ {
+				n.Transfer(core, 16, size, int64(i)) // node 0 -> node 1
+			}
+		}(core)
+	}
+	wg.Wait()
+	if got, want := n.XmitData(0), int64(16*perCore*size); got != want {
+		t.Fatalf("XmitData(0) = %d, want %d", got, want)
+	}
+	if got, want := n.XmitPackets(0), int64(16*perCore); got != want {
+		t.Fatalf("XmitPackets(0) = %d, want %d", got, want)
+	}
+	if n.XmitData(1) != 0 || n.XmitPackets(1) != 0 {
+		t.Fatal("receiving node's NIC counters moved")
+	}
+}

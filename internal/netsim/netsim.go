@@ -158,6 +158,11 @@ type Network struct {
 	eventLog []XmitEvent
 	logging  atomic.Bool
 
+	// levelTab memoizes Topo.SharedLevel for every core pair; built on
+	// first use, nil when the topology is too large (see maxLevelTabLeaves).
+	levelOnce sync.Once
+	levelTab  []uint8
+
 	// waitObs, when non-nil, observes NIC busy-waits: a transfer that
 	// found its node's NIC busy reports how long (virtual ns) it queued.
 	// Set it before the simulation starts; it is called concurrently from
@@ -165,11 +170,23 @@ type Network struct {
 	waitObs func(node int, waitNs int64)
 }
 
+// nicShards spreads a node's transmit counters over independent cache
+// lines, indexed by sending core: with Contention off, cores of one node
+// would otherwise still serialize on the shared counter line even though
+// the model says their transfers are independent. Must be a power of two.
+const nicShards = 8
+
+// counterShard is one padded slice of a node's transmit counters.
+type counterShard struct {
+	xmitData atomic.Int64 // bytes that left through the NIC
+	xmitPkts atomic.Int64
+	_        [6]int64 // one cache line per shard
+}
+
 type nicState struct {
 	busyUntil atomic.Int64
-	xmitData  atomic.Int64 // bytes that left through the NIC
-	xmitPkts  atomic.Int64
-	_         [4]int64 // pad to limit false sharing between adjacent NICs
+	_         [7]int64 // keep the contention word off the counter lines
+	shards    [nicShards]counterShard
 }
 
 // NewNetwork builds the transport state for the machine.
@@ -178,6 +195,36 @@ func NewNetwork(m *Machine) (*Network, error) {
 		return nil, err
 	}
 	return &Network{mach: m, nics: make([]nicState, m.Topo.NumNodes())}, nil
+}
+
+// maxLevelTabLeaves caps the memoized level table at 2048² = 4 MiB; larger
+// machines fall back to computing SharedLevel per transfer.
+const maxLevelTabLeaves = 2048
+
+// sharedLevel returns the link level of a transfer between two cores, from
+// the lazily built per-pair table when the machine is small enough.
+func (n *Network) sharedLevel(src, dst int) int {
+	n.levelOnce.Do(n.buildLevelTab)
+	if n.levelTab != nil {
+		return int(n.levelTab[src*n.mach.Topo.Leaves()+dst])
+	}
+	return n.mach.Topo.SharedLevel(src, dst)
+}
+
+func (n *Network) buildLevelTab() {
+	topo := n.mach.Topo
+	leaves := topo.Leaves()
+	if leaves > maxLevelTabLeaves || topo.Depth() > 255 {
+		return
+	}
+	tab := make([]uint8, leaves*leaves)
+	for a := 0; a < leaves; a++ {
+		row := tab[a*leaves : (a+1)*leaves]
+		for b := 0; b < leaves; b++ {
+			row[b] = uint8(topo.SharedLevel(a, b))
+		}
+	}
+	n.levelTab = tab
 }
 
 // Machine returns the performance model this network was built from.
@@ -201,11 +248,25 @@ func (n *Network) DrainEvents() []XmitEvent {
 }
 
 // XmitData returns the cumulative bytes transmitted by the NIC of the given
-// node, mirroring the port_xmit_data hardware counter.
-func (n *Network) XmitData(node int) int64 { return n.nics[node].xmitData.Load() }
+// node, mirroring the port_xmit_data hardware counter. It sums the per-core
+// shards; reads concurrent with traffic see a momentary view, like a real
+// hardware counter.
+func (n *Network) XmitData(node int) int64 {
+	var s int64
+	for i := range n.nics[node].shards {
+		s += n.nics[node].shards[i].xmitData.Load()
+	}
+	return s
+}
 
 // XmitPackets returns the cumulative message count sent by the node's NIC.
-func (n *Network) XmitPackets(node int) int64 { return n.nics[node].xmitPkts.Load() }
+func (n *Network) XmitPackets(node int) int64 {
+	var s int64
+	for i := range n.nics[node].shards {
+		s += n.nics[node].shards[i].xmitPkts.Load()
+	}
+	return s
+}
 
 // Transfer prices a message of size bytes from core src to core dst, where
 // the sender's virtual clock reads now (already including the sender
@@ -214,7 +275,7 @@ func (n *Network) XmitPackets(node int) int64 { return n.nics[node].xmitPkts.Loa
 // overhead). Hardware counters are updated for inter-node transfers.
 func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arrival int64) {
 	topo := n.mach.Topo
-	level := topo.SharedLevel(src, dst)
+	level := n.sharedLevel(src, dst)
 	link := n.mach.Links[level]
 	xferNs := int64(float64(size) / link.Bandwidth * 1e9)
 
@@ -230,8 +291,9 @@ func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arriv
 			}
 		}
 		end := start + xferNs
-		nic.xmitData.Add(int64(size))
-		nic.xmitPkts.Add(1)
+		sh := &nic.shards[src&(nicShards-1)]
+		sh.xmitData.Add(int64(size))
+		sh.xmitPkts.Add(1)
 		if n.logging.Load() {
 			n.logMu.Lock()
 			n.eventLog = append(n.eventLog, XmitEvent{Node: node, When: end, Bytes: int64(size)})

@@ -135,8 +135,23 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 	var k []int
 	if comm.Rank() == 0 {
 		endTM := phaseSpan(comm, "reorder.treematch")
+		// Surface capped-refinement fallbacks (huge matrices) on the hub:
+		// a degraded mapping is still valid but worth counting.
+		restoreHook := func() {}
+		if tel := comm.World().Telemetry(); tel != nil {
+			ctr := tel.Registry().Counter("mpimon_treematch_refine_degraded_total")
+			prev := treematch.OnRefineDegrade
+			treematch.OnRefineDegrade = func(d treematch.RefineDegrade) {
+				ctr.Inc()
+				if prev != nil {
+					prev(d)
+				}
+			}
+			restoreHook = func() { treematch.OnRefineDegrade = prev }
+		}
 		start := time.Now()
 		k, err = ComputeMapping(matBytes, n, comm.World().Machine().Topo, memberPlacement(comm))
+		restoreHook()
 		if err != nil {
 			endTM()
 			return nil, nil, err

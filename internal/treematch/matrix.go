@@ -32,6 +32,10 @@ type Matrix struct {
 	n        int
 	rows     [][]Entry
 	finished bool
+	// nonneg records that no entry is negative (true for byte-count
+	// matrices); the refinement kernel uses it to skip part pairs with no
+	// cut affinity, which is lossless only without negative weights.
+	nonneg bool
 }
 
 // NewMatrix creates an empty n-process affinity matrix.
@@ -61,6 +65,7 @@ func (m *Matrix) Finish() {
 	if m.finished {
 		return
 	}
+	m.nonneg = true
 	for i := range m.rows {
 		r := m.rows[i]
 		sort.Slice(r, func(a, b int) bool { return r[a].Col < r[b].Col })
@@ -70,6 +75,12 @@ func (m *Matrix) Finish() {
 				out[len(out)-1].W += e.W
 			} else {
 				out = append(out, e)
+			}
+		}
+		for _, e := range out {
+			if e.W < 0 {
+				m.nonneg = false
+				break
 			}
 		}
 		m.rows[i] = out

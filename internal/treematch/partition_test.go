@@ -1,0 +1,239 @@
+package treematch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mpimon/internal/topology"
+)
+
+// randSparse builds a random sparse symmetric matrix of n processes with
+// roughly degree nonzero peers per process.
+func randSparse(n, degree int, seed int64) *Matrix {
+	m := NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			j := rng.Intn(n)
+			if j != i {
+				m.Add(i, j, float64(rng.Intn(1000)+1))
+			}
+		}
+	}
+	m.Finish()
+	return m
+}
+
+// testTopos returns topology/tree shapes covering balanced, multi-switch
+// and restricted (uneven) cases for a 48-process instance.
+func testTrees(t *testing.T) []*topology.Tree {
+	t.Helper()
+	balanced := topology.MustNew(4, 2, 6).FullTree()
+	multi, err := topology.NewWithNodeDepth(2, 2, 2, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restricted: 48 of the 64 leaves of a 4x4x4 machine, skipping every
+	// fourth core — an uneven tree.
+	topo := topology.MustNew(4, 4, 4)
+	var keep []int
+	for l := 0; l < topo.Leaves(); l++ {
+		if l%4 != 3 {
+			keep = append(keep, l)
+		}
+	}
+	restricted, err := topo.Restrict(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*topology.Tree{balanced, multi.FullTree(), restricted}
+}
+
+// TestPartitionMatchesReference checks that on randomized sparse matrices
+// the dense kernel reproduces the seed map-based algorithm exactly: the
+// same placement, hence the same cost.
+func TestPartitionMatchesReference(t *testing.T) {
+	trees := testTrees(t)
+	for seed := int64(1); seed <= 12; seed++ {
+		for ti, tree := range trees {
+			m := randSparse(48, 4, seed)
+			got, err := MapTree(m, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := refMapTree(m, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := range got {
+				if got[p] != want[p] {
+					t.Fatalf("seed %d tree %d: placement diverges from reference at process %d: got %v want %v",
+						seed, ti, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionNeverWorseThanReference is the property the ISSUE asks for:
+// on randomized sparse matrices the dense partition never yields a higher
+// placement cost than the seed greedy implementation.
+func TestPartitionNeverWorseThanReference(t *testing.T) {
+	topo := topology.MustNew(2, 2, 2, 2)
+	f := func(seed int64) bool {
+		m := randSparse(16, 3, seed)
+		tree := topo.FullTree()
+		got, err := MapTree(m, tree)
+		if err != nil {
+			return false
+		}
+		want, err := refMapTree(m, tree)
+		if err != nil {
+			return false
+		}
+		return Cost(m, got, topo) <= Cost(m, want, topo)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionDeterministic maps the same matrix repeatedly (the parallel
+// workers must not introduce schedule-dependent results).
+func TestPartitionDeterministic(t *testing.T) {
+	topo := topology.MustNew(8, 2, 4)
+	m := randSparse(64, 5, 42)
+	first, err := MapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := MapTree(m, topo.FullTree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range first {
+			if again[p] != first[p] {
+				t.Fatalf("run %d: nondeterministic placement at process %d", i, p)
+			}
+		}
+	}
+}
+
+// TestPartitionRespectsCaps drives the kernel directly: every part must
+// have exactly its requested capacity and the parts must partition procs.
+func TestPartitionRespectsCaps(t *testing.T) {
+	m := randSparse(31, 4, 7)
+	procs := make([]int, 31)
+	for i := range procs {
+		procs[i] = i
+	}
+	for _, caps := range [][]int{
+		{10, 21},
+		{1, 30},
+		{7, 8, 16},
+		{1, 1, 1, 28},
+		{5, 5, 5, 5, 5, 6},
+	} {
+		ws := newWorkspace(31)
+		parts := ws.partition(m, procs, caps)
+		seen := make(map[int]bool)
+		for i, part := range parts {
+			if len(part) != caps[i] {
+				t.Fatalf("caps %v: part %d has %d members, want %d", caps, i, len(part), caps[i])
+			}
+			for _, p := range part {
+				if seen[p] {
+					t.Fatalf("caps %v: process %d in two parts", caps, p)
+				}
+				seen[p] = true
+			}
+		}
+		if len(seen) != len(procs) {
+			t.Fatalf("caps %v: %d processes assigned, want %d", caps, len(seen), len(procs))
+		}
+		// The workspace must come back clean for reuse.
+		for i := range ws.local {
+			if ws.local[i] != -1 {
+				t.Fatalf("caps %v: workspace local[%d] not reset", caps, i)
+			}
+		}
+		for i := range ws.rowW {
+			if ws.rowW[i] != 0 || ws.scratch[i] != 0 || ws.gain[i] != 0 {
+				t.Fatalf("caps %v: workspace scratch row %d not reset", caps, i)
+			}
+		}
+	}
+}
+
+// TestRefineDegradeHook shrinks the budget so refinement must fall back to
+// the capped pass, and checks the degradation is surfaced with plausible
+// numbers — and that the capped refinement still never places worse than
+// the (budget-skipped) reference.
+func TestRefineDegradeHook(t *testing.T) {
+	oldBudget := refineBudget
+	refineBudget = 64
+	var mu sync.Mutex
+	var events []RefineDegrade
+	OnRefineDegrade = func(d RefineDegrade) {
+		mu.Lock()
+		events = append(events, d)
+		mu.Unlock()
+	}
+	defer func() {
+		refineBudget = oldBudget
+		OnRefineDegrade = nil
+	}()
+
+	topo := topology.MustNew(4, 2, 6)
+	m := randSparse(48, 4, 5)
+	got, err := MapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no degrade event for a 48-process partition under a 64-swap budget")
+	}
+	for _, d := range events {
+		if d.Work <= d.Budget {
+			t.Fatalf("degrade event with work %d within budget %d", d.Work, d.Budget)
+		}
+		if d.Procs <= 0 || d.Parts <= 1 {
+			t.Fatalf("implausible degrade event %+v", d)
+		}
+	}
+	// Reference under the same tiny budget skips refinement entirely; the
+	// capped pass must not be worse.
+	want, err := refMapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc, wc := Cost(m, got, topo), Cost(m, want, topo); gc > wc+1e-9 {
+		t.Fatalf("capped refinement cost %v worse than unrefined reference %v", gc, wc)
+	}
+}
+
+// TestMapTreeParallelLargeMatchesReference exercises the worker pool (the
+// subproblems exceed parallelThreshold) and checks exact equivalence.
+func TestMapTreeParallelLargeMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	topo := topology.MustNew(32, 2, 12)
+	m := randSparse(768, 6, 11)
+	got, err := MapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refMapTree(m, topo.FullTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range got {
+		if got[p] != want[p] {
+			t.Fatalf("parallel placement diverges from reference at process %d", p)
+		}
+	}
+}

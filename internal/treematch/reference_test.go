@@ -1,0 +1,210 @@
+package treematch
+
+// The seed (pre-rewrite) map-based partitioning algorithm, kept verbatim as
+// a test-only reference: the dense kernel in partition.go must never place
+// worse than this within the refinement budget (and, by construction, it
+// reproduces the reference's greedy and swap selection exactly, so the
+// equality tests in partition_test.go hold bit-for-bit).
+
+import (
+	"fmt"
+	"sort"
+
+	"mpimon/internal/topology"
+)
+
+func refMapTree(m *Matrix, root *topology.Tree) ([]int, error) {
+	if m.N() != root.Cap {
+		return nil, fmt.Errorf("treematch: %d processes for a tree of %d leaves", m.N(), root.Cap)
+	}
+	m.Finish()
+	out := make([]int, m.N())
+	procs := make([]int, m.N())
+	for i := range procs {
+		procs[i] = i
+	}
+	refAssign(m, root, procs, out)
+	return out, nil
+}
+
+func refAssign(m *Matrix, node *topology.Tree, procs []int, out []int) {
+	if node.Children == nil {
+		out[procs[0]] = node.Leaf
+		return
+	}
+	caps := make([]int, len(node.Children))
+	for i, c := range node.Children {
+		caps[i] = c.Cap
+	}
+	parts := refPartition(m, procs, caps)
+	for i, c := range node.Children {
+		refAssign(m, c, parts[i], out)
+	}
+}
+
+func refPartition(m *Matrix, procs []int, caps []int) [][]int {
+	k := len(caps)
+	parts := make([][]int, k)
+	if k == 1 {
+		parts[0] = procs
+		return parts
+	}
+
+	inSet := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		inSet[p] = true
+	}
+	unassigned := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		unassigned[p] = true
+	}
+	total := make(map[int]float64, len(procs))
+	for _, p := range procs {
+		var s float64
+		for _, e := range m.Row(p) {
+			if inSet[e.Col] {
+				s += e.W
+			}
+		}
+		total[p] = s
+	}
+
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if caps[order[a]] != caps[order[b]] {
+			return caps[order[a]] > caps[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	claim := func(p int) {
+		delete(unassigned, p)
+		for _, e := range m.Row(p) {
+			if unassigned[e.Col] {
+				total[e.Col] -= e.W
+			}
+		}
+	}
+
+	for _, pi := range order {
+		want := caps[pi]
+		part := make([]int, 0, want)
+		gain := make(map[int]float64)
+
+		for len(part) < want {
+			best, found := -1, false
+			var bestScore, bestGain float64
+			for _, p := range procs {
+				if !unassigned[p] {
+					continue
+				}
+				g := gain[p]
+				score := g - (total[p] - g)
+				if !found || score > bestScore || (score == bestScore && g > bestGain) ||
+					(score == bestScore && g == bestGain && p < best) {
+					best, bestScore, bestGain, found = p, score, g, true
+				}
+			}
+			claim(best)
+			part = append(part, best)
+			for _, e := range m.Row(best) {
+				if unassigned[e.Col] {
+					gain[e.Col] += e.W
+				}
+			}
+		}
+		parts[pi] = part
+	}
+
+	refRefineSwaps(m, parts)
+	for _, part := range parts {
+		sort.Ints(part)
+	}
+	return parts
+}
+
+func refRefineSwaps(m *Matrix, parts [][]int) {
+	work := 0
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			work += len(parts[i]) * len(parts[j])
+		}
+	}
+	if work > refineBudget {
+		return
+	}
+	partOf := make(map[int]int)
+	for pi, part := range parts {
+		for _, p := range part {
+			partOf[p] = pi
+		}
+	}
+	aff := make(map[int][]float64, len(partOf))
+	for p := range partOf {
+		row := make([]float64, len(parts))
+		for _, e := range m.Row(p) {
+			if pi, ok := partOf[e.Col]; ok {
+				row[pi] += e.W
+			}
+		}
+		aff[p] = row
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for ai := range parts {
+			for bi := ai + 1; bi < len(parts); bi++ {
+				for {
+					bestGain := 0.0
+					bestA, bestB := -1, -1
+					for _, a := range parts[ai] {
+						for _, b := range parts[bi] {
+							g := (aff[a][bi] - aff[a][ai]) + (aff[b][ai] - aff[b][bi]) - 2*m.Affinity(a, b)
+							if g > bestGain+1e-12 {
+								bestGain, bestA, bestB = g, a, b
+							}
+						}
+					}
+					if bestA < 0 {
+						break
+					}
+					refSwap(parts, partOf, aff, m, ai, bi, bestA, bestB)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+func refSwap(parts [][]int, partOf map[int]int, aff map[int][]float64, m *Matrix, ai, bi, a, b int) {
+	replace := func(part []int, old, new int) {
+		for i, p := range part {
+			if p == old {
+				part[i] = new
+				return
+			}
+		}
+	}
+	replace(parts[ai], a, b)
+	replace(parts[bi], b, a)
+	partOf[a], partOf[b] = bi, ai
+	for _, e := range m.Row(a) {
+		if _, ok := partOf[e.Col]; ok && e.Col != b {
+			aff[e.Col][ai] -= e.W
+			aff[e.Col][bi] += e.W
+		}
+	}
+	for _, e := range m.Row(b) {
+		if _, ok := partOf[e.Col]; ok && e.Col != a {
+			aff[e.Col][bi] -= e.W
+			aff[e.Col][ai] += e.W
+		}
+	}
+}
