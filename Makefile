@@ -14,9 +14,10 @@ test:
 
 # race runs the race detector over the concurrent hot paths: the packages
 # the telemetry layer instruments, the pooled message buffers, the sharded
-# NIC counters, and the parallel TreeMatch partitioner.
+# NIC counters, the parallel TreeMatch partitioner, and the fault-injection
+# / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree).
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch ./internal/faults ./internal/elastic
 
 # bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
 # allocation rate), the TreeMatch kernels, and the collective layer — and
@@ -24,7 +25,7 @@ race:
 # can be diffed commit to commit (see docs/PERFORMANCE.md).
 bench:
 	@tmp=$$(mktemp) && \
-	$(GO) test -run '^$$' -bench BenchmarkSendRecvAllocs -benchmem ./internal/mpi | tee -a $$tmp && \
+	$(GO) test -run '^$$' -bench '^BenchmarkSendRecv' -benchmem ./internal/mpi | tee -a $$tmp && \
 	$(GO) test -run '^$$' -bench '^(BenchmarkTreeMatch|BenchmarkTable1TreeMatchScale|BenchmarkPingPong|BenchmarkCollectives|BenchmarkBarrier48)$$' -benchmem . | tee -a $$tmp && \
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < $$tmp && \
 	rm -f $$tmp && echo "wrote $(BENCHOUT)"

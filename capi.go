@@ -32,6 +32,51 @@ const (
 	ErrCodeInvalidFlagsOnly = monitoring.CodeInvalidFlags
 )
 
+// Numeric codes of the fault-tolerance error classes, continuing the
+// MPI_M_* sequence above (the paper's API predates ULFM-style recovery, so
+// these are this library's extension).
+const (
+	ErrCodeProcFailed = 11
+	ErrCodeRevoked    = 12
+	ErrCodeTimeout    = 13
+	ErrCodeAborted    = 14
+	ErrCodeUnknown    = 15
+)
+
+// errClassCodes maps every ErrorClass to its C return code. The monitoring
+// classes keep their MPI_M_* values; the fault classes use the extension
+// codes above.
+var errClassCodes = map[ErrorClass]int{
+	ErrClassNone:                Success,
+	ErrClassProcFailed:          ErrCodeProcFailed,
+	ErrClassRevoked:             ErrCodeRevoked,
+	ErrClassTimeout:             ErrCodeTimeout,
+	ErrClassAborted:             ErrCodeAborted,
+	ErrClassInternalFail:        ErrCodeInternalFail,
+	ErrClassMPITFail:            ErrCodeMPITFail,
+	ErrClassMissingInit:         ErrCodeMissingInit,
+	ErrClassSessionStillActive:  ErrCodeSessionActive,
+	ErrClassSessionNotSuspended: ErrCodeSessionNotSusp,
+	ErrClassInvalidMsid:         ErrCodeInvalidMsid,
+	ErrClassSessionOverflow:     ErrCodeSessionOverflow,
+	ErrClassMultipleCall:        ErrCodeMultipleCall,
+	ErrClassInvalidRoot:         ErrCodeInvalidRoot,
+	ErrClassInvalidFlags:        ErrCodeInvalidFlagsOnly,
+	ErrClassUnknown:             ErrCodeUnknown,
+}
+
+// Code returns the numeric C return code of the class.
+func (c ErrorClass) Code() int {
+	if code, ok := errClassCodes[c]; ok {
+		return code
+	}
+	return ErrCodeUnknown
+}
+
+// ErrCodeOf maps any library error to its numeric C return code: Success
+// for nil, the class code otherwise (see ClassOf).
+func ErrCodeOf(err error) int { return ClassOf(err).Code() }
+
 var capi struct {
 	mu   sync.Mutex
 	envs map[*Proc]*Env

@@ -1,0 +1,61 @@
+// Command exp-faults runs the resilience scenario: an iterative clique
+// workload loses a node mid-iteration to an injected fault plan, the
+// survivors recover with the ULFM-style Revoke/Shrink/Agree sequence, and
+// a deliberately starved rank reordering degrades to the identity
+// permutation instead of failing the job. The summary prints the fault and
+// retry counters the telemetry layer collected along the way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	np := flag.Int("np", exp.DefaultFaults.NP, "world size")
+	clique := flag.Int("clique", exp.DefaultFaults.Clique, "ranks per communication clique")
+	size := flag.Int("size", exp.DefaultFaults.MsgSize, "allgather block bytes")
+	iters := flag.Int("iters", exp.DefaultFaults.Iters, "iteration budget")
+	deathAt := flag.Duration("death-at", exp.DefaultFaults.DeathAt, "virtual death time of the last node")
+	mapTimeout := flag.Duration("map-timeout", exp.DefaultFaults.MappingTimeout, "mapping timeout of the post-recovery reorder")
+	retries := flag.Int("map-retries", exp.DefaultFaults.Retries, "mapping retries before the identity fallback")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-faults:", err)
+		os.Exit(1)
+	}
+
+	cfg := exp.FaultsConfig{
+		NP:             *np,
+		Clique:         *clique,
+		MsgSize:        *size,
+		ComputePer:     50 * time.Microsecond,
+		Iters:          *iters,
+		DeathAt:        *deathAt,
+		MappingTimeout: *mapTimeout,
+		Retries:        *retries,
+	}
+	res, err := exp.Faults(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-faults:", err)
+		os.Exit(1)
+	}
+	exp.PrintFaults(os.Stdout, cfg, res)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-faults:", err)
+		os.Exit(1)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-faults:", err)
+		os.Exit(1)
+	}
+}

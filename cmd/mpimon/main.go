@@ -92,19 +92,19 @@ func main() {
 
 // report is what one run produces; with -json it is marshalled verbatim.
 type report struct {
-	Workload  string  `json:"workload"`
-	NP        int     `json:"np"`
-	Topology  string  `json:"topology"`
-	Placement string  `json:"placement"`
-	Iters     int     `json:"iters"`
-	BaseNs    int64   `json:"baseline_ns"`
-	Messages  uint64  `json:"messages"`
-	Bytes     uint64  `json:"bytes"`
-	Matrix    []uint64 `json:"matrix,omitempty"` // row-major bytes, n-by-n
+	Workload  string    `json:"workload"`
+	NP        int       `json:"np"`
+	Topology  string    `json:"topology"`
+	Placement string    `json:"placement"`
+	Iters     int       `json:"iters"`
+	BaseNs    int64     `json:"baseline_ns"`
+	Messages  uint64    `json:"messages"`
+	Bytes     uint64    `json:"bytes"`
+	Matrix    []uint64  `json:"matrix,omitempty"` // row-major bytes, n-by-n
 	Analysis  *analysis `json:"analysis,omitempty"`
-	ReorderNs int64    `json:"reordered_ns,omitempty"`
-	GainPct   float64  `json:"gain_percent,omitempty"`
-	K         []int    `json:"k,omitempty"`
+	ReorderNs int64     `json:"reordered_ns,omitempty"`
+	GainPct   float64   `json:"gain_percent,omitempty"`
+	K         []int     `json:"k,omitempty"`
 }
 
 // analysis is the matstat view of the gathered matrix.

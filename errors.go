@@ -1,0 +1,148 @@
+package mpimon
+
+import (
+	"errors"
+
+	"mpimon/internal/monitoring"
+	"mpimon/internal/mpi"
+)
+
+// This file is the library's unified error surface: every sentinel the
+// runtime or the monitoring layer can return is re-exported here, and
+// ClassOf folds any error — however deeply wrapped — into one ErrorClass,
+// so callers switch on a single enum instead of matching a zoo of
+// sentinels from internal packages.
+
+// Fault-tolerance types (package mpi).
+type (
+	// MPIError is the typed error of the fault-tolerance layer: an error
+	// class sentinel plus the operation and world rank involved. Match
+	// the class with errors.Is or ClassOf; extract details with errors.As.
+	MPIError = mpi.MPIError
+	// ErrHandler is a per-communicator error handler; see
+	// Comm.SetErrHandler.
+	ErrHandler = mpi.ErrHandler
+)
+
+// Fault-tolerance error sentinels (the ULFM-style error classes).
+var (
+	// ErrAborted reports that the world aborted because another rank
+	// returned an unhandled error.
+	ErrAborted = mpi.ErrAborted
+	// ErrProcFailed reports that a process involved in the operation has
+	// failed (MPI_ERR_PROC_FAILED).
+	ErrProcFailed = mpi.ErrProcFailed
+	// ErrRevoked reports an operation on a revoked communicator
+	// (MPI_ERR_REVOKED).
+	ErrRevoked = mpi.ErrRevoked
+	// ErrTimeout reports that a deadline-bounded operation (RecvTimeout,
+	// the reorder mapping step) did not complete in time.
+	ErrTimeout = mpi.ErrTimeout
+)
+
+// ErrorClass folds every error the library returns into one enum; see
+// ClassOf. The fault-tolerance classes come first, then the monitoring
+// classes in the order of the paper's MPI_M_* constants.
+type ErrorClass int
+
+const (
+	// ErrClassNone classifies a nil error.
+	ErrClassNone ErrorClass = iota
+	// ErrClassProcFailed: a process involved in the operation failed.
+	ErrClassProcFailed
+	// ErrClassRevoked: the communicator was revoked.
+	ErrClassRevoked
+	// ErrClassTimeout: a deadline-bounded operation timed out.
+	ErrClassTimeout
+	// ErrClassAborted: the world aborted on another rank's error.
+	ErrClassAborted
+	// ErrClassInternalFail: monitoring internal failure (MPI_M_FAIL).
+	ErrClassInternalFail
+	// ErrClassMPITFail: a failed MPI or MPI_T call (MPI_M_MPIT_FAIL).
+	ErrClassMPITFail
+	// ErrClassMissingInit: use of the library before Init.
+	ErrClassMissingInit
+	// ErrClassSessionStillActive: Finalize with a live session.
+	ErrClassSessionStillActive
+	// ErrClassSessionNotSuspended: data access on a non-suspended session.
+	ErrClassSessionNotSuspended
+	// ErrClassInvalidMsid: unknown monitoring session identifier.
+	ErrClassInvalidMsid
+	// ErrClassSessionOverflow: too many simultaneous sessions.
+	ErrClassSessionOverflow
+	// ErrClassMultipleCall: state-changing call repeated without its
+	// converse.
+	ErrClassMultipleCall
+	// ErrClassInvalidRoot: out-of-range root rank.
+	ErrClassInvalidRoot
+	// ErrClassInvalidFlags: flags selecting no communication class.
+	ErrClassInvalidFlags
+	// ErrClassUnknown classifies every other non-nil error.
+	ErrClassUnknown
+)
+
+var errorClassNames = map[ErrorClass]string{
+	ErrClassNone:                "none",
+	ErrClassProcFailed:          "proc-failed",
+	ErrClassRevoked:             "revoked",
+	ErrClassTimeout:             "timeout",
+	ErrClassAborted:             "aborted",
+	ErrClassInternalFail:        "internal-fail",
+	ErrClassMPITFail:            "mpit-fail",
+	ErrClassMissingInit:         "missing-init",
+	ErrClassSessionStillActive:  "session-still-active",
+	ErrClassSessionNotSuspended: "session-not-suspended",
+	ErrClassInvalidMsid:         "invalid-msid",
+	ErrClassSessionOverflow:     "session-overflow",
+	ErrClassMultipleCall:        "multiple-call",
+	ErrClassInvalidRoot:         "invalid-root",
+	ErrClassInvalidFlags:        "invalid-flags",
+	ErrClassUnknown:             "unknown",
+}
+
+// String names the class.
+func (c ErrorClass) String() string {
+	if n, ok := errorClassNames[c]; ok {
+		return n
+	}
+	return "invalid"
+}
+
+// classTable orders matching: the fault-tolerance classes come before the
+// monitoring ones, so a fault error wrapped by the monitoring layer (for
+// example a RootgatherData that failed because a peer died) classifies as
+// the actionable fault, not as the generic MPIT failure around it.
+var classTable = []struct {
+	sentinel error
+	class    ErrorClass
+}{
+	{mpi.ErrProcFailed, ErrClassProcFailed},
+	{mpi.ErrRevoked, ErrClassRevoked},
+	{mpi.ErrTimeout, ErrClassTimeout},
+	{mpi.ErrAborted, ErrClassAborted},
+	{monitoring.ErrMissingInit, ErrClassMissingInit},
+	{monitoring.ErrSessionStillActive, ErrClassSessionStillActive},
+	{monitoring.ErrSessionNotSuspended, ErrClassSessionNotSuspended},
+	{monitoring.ErrInvalidMsid, ErrClassInvalidMsid},
+	{monitoring.ErrSessionOverflow, ErrClassSessionOverflow},
+	{monitoring.ErrMultipleCall, ErrClassMultipleCall},
+	{monitoring.ErrInvalidRoot, ErrClassInvalidRoot},
+	{monitoring.ErrInvalidFlags, ErrClassInvalidFlags},
+	{monitoring.ErrMPITFail, ErrClassMPITFail},
+	{monitoring.ErrInternalFail, ErrClassInternalFail},
+}
+
+// ClassOf maps any error returned by this library to its ErrorClass: nil
+// to ErrClassNone, wrapped sentinels to their class (unwrapping through
+// fmt.Errorf chains and *MPIError), anything else to ErrClassUnknown.
+func ClassOf(err error) ErrorClass {
+	if err == nil {
+		return ErrClassNone
+	}
+	for _, e := range classTable {
+		if errors.Is(err, e.sentinel) {
+			return e.class
+		}
+	}
+	return ErrClassUnknown
+}

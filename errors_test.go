@@ -1,0 +1,94 @@
+package mpimon
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassOfTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+		code int
+	}{
+		{"nil", nil, ErrClassNone, Success},
+		{"proc failed", ErrProcFailed, ErrClassProcFailed, ErrCodeProcFailed},
+		{"revoked", ErrRevoked, ErrClassRevoked, ErrCodeRevoked},
+		{"timeout", ErrTimeout, ErrClassTimeout, ErrCodeTimeout},
+		{"aborted", ErrAborted, ErrClassAborted, ErrCodeAborted},
+		{"internal", ErrInternalFail, ErrClassInternalFail, ErrCodeInternalFail},
+		{"mpit", ErrMPITFail, ErrClassMPITFail, ErrCodeMPITFail},
+		{"missing init", ErrMissingInit, ErrClassMissingInit, ErrCodeMissingInit},
+		{"still active", ErrSessionStillActive, ErrClassSessionStillActive, ErrCodeSessionActive},
+		{"not suspended", ErrSessionNotSusp, ErrClassSessionNotSuspended, ErrCodeSessionNotSusp},
+		{"invalid msid", ErrInvalidMsid, ErrClassInvalidMsid, ErrCodeInvalidMsid},
+		{"overflow", ErrSessionOverflow, ErrClassSessionOverflow, ErrCodeSessionOverflow},
+		{"multiple call", ErrMultipleCall, ErrClassMultipleCall, ErrCodeMultipleCall},
+		{"invalid root", ErrInvalidRoot, ErrClassInvalidRoot, ErrCodeInvalidRoot},
+		{"invalid flags", ErrInvalidFlags, ErrClassInvalidFlags, ErrCodeInvalidFlagsOnly},
+		{"unknown", errors.New("something else"), ErrClassUnknown, ErrCodeUnknown},
+		{"wrapped", fmt.Errorf("phase 3: %w", ErrRevoked), ErrClassRevoked, ErrCodeRevoked},
+		// A fault error wrapped by the monitoring layer classifies as the
+		// actionable fault, not the MPIT failure around it.
+		{"mpit-wrapped fault", fmt.Errorf("%w: %w", ErrMPITFail, ErrProcFailed),
+			ErrClassProcFailed, ErrCodeProcFailed},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(tc.err); got != tc.want {
+			t.Errorf("%s: ClassOf = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := ErrCodeOf(tc.err); got != tc.code {
+			t.Errorf("%s: ErrCodeOf = %d, want %d", tc.name, got, tc.code)
+		}
+	}
+}
+
+func TestErrorClassString(t *testing.T) {
+	seen := map[string]bool{}
+	for c := ErrClassNone; c <= ErrClassUnknown; c++ {
+		s := c.String()
+		if s == "" || s == "invalid" {
+			t.Fatalf("class %d has no name", int(c))
+		}
+		if seen[s] {
+			t.Fatalf("class name %q used twice", s)
+		}
+		seen[s] = true
+	}
+	if ErrorClass(999).String() != "invalid" {
+		t.Fatal("out-of-range class should stringify as invalid")
+	}
+}
+
+// TestClassOfThroughWorld drives a real failure end to end: a fault plan
+// kills a node, a blocked collective surfaces ErrProcFailed, and the
+// facade classifies it without the caller touching internal packages.
+func TestClassOfThroughWorld(t *testing.T) {
+	w, err := NewWorld(PlaFRIM(2), 2, WithPlacement([]int{0, 24}),
+		WithFaultPlan(&FaultPlan{Deaths: []NodeDeath{{Node: 1, At: time.Millisecond}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]ErrorClass, 2)
+	err = w.RunWithTimeout(time.Minute, func(c *Comm) error {
+		c.Proc().Compute(2 * time.Millisecond)
+		err := c.Barrier()
+		classes[c.Rank()] = ClassOf(err)
+		if c.Proc().Failed() {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes[0] != ErrClassProcFailed || classes[1] != ErrClassProcFailed {
+		t.Fatalf("classes = %v, want both proc-failed", classes)
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedRanks = %v, want [1]", got)
+	}
+}

@@ -12,6 +12,7 @@ package elastic
 import (
 	"fmt"
 
+	"mpimon/internal/mpi"
 	"mpimon/internal/topology"
 	"mpimon/internal/treematch"
 )
@@ -147,6 +148,15 @@ func stabilize(coreOf, oldPlace []int, topo *topology.Topology) []int {
 	}
 	_ = n
 	return placement
+}
+
+// SurvivorCores lists the cores of the world's machine that remain usable
+// after the failures the runtime has observed: every core except those on
+// the nodes the fault plan killed. Call it after Comm.Shrink — the shrunken
+// communicator's world knows which nodes are dead — to feed Reconfigure
+// the surviving resource set.
+func SurvivorCores(c *mpi.Comm) []int {
+	return Shrink(c.World().Machine().Topo, c.World().DeadNodes()...)
 }
 
 // Shrink lists the cores that survive removing the given nodes from the

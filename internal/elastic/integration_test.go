@@ -1,18 +1,22 @@
 package elastic
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"mpimon/internal/faults"
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
 	"mpimon/internal/netsim"
 )
 
 // TestReconfigureEndToEnd simulates the full Sec. 7 scenario: an
-// application runs and is monitored on 3 nodes; one node "fails"; the
-// runtime relaunches the job on the surviving nodes, either naively
-// (packing ranks onto the free cores in order) or with the
+// application runs and is monitored on 3 nodes; a fault plan kills one
+// node mid-run, the survivors recover with Revoke/Shrink and compute the
+// surviving resource set from the runtime's own failure knowledge
+// (SurvivorCores); the runtime then relaunches the job on those cores,
+// either naively (packing ranks onto the free cores in order) or with the
 // matrix-driven Reconfigure plan. The topology-aware relaunch must be
 // faster.
 func TestReconfigureEndToEnd(t *testing.T) {
@@ -34,9 +38,15 @@ func TestReconfigureEndToEnd(t *testing.T) {
 		return sub.AllgatherN(200_000)
 	}
 
-	// Phase 1: run and monitor on the full machine.
+	// Phase 1: run and monitor on the full machine. The fault plan kills
+	// node 2 (ranks 2, 5, 8, 11) at one virtual hour — far beyond the
+	// monitored iteration and gather, so the matrix is safely out before
+	// the explicit clock advance below trips the death.
+	const deathAt = time.Hour
+	fplan := &faults.Plan{Deaths: []faults.NodeDeath{{Node: 2, At: deathAt}}}
 	var mat []uint64
-	w1, err := mpi.NewWorld(mach, np, mpi.WithPlacement(oldPlace))
+	var avail []int
+	w1, err := mpi.NewWorld(mach, np, mpi.WithPlacement(oldPlace), mpi.WithFaultPlan(fplan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,14 +73,58 @@ func TestReconfigureEndToEnd(t *testing.T) {
 		if c.Rank() == 0 {
 			mat = m
 		}
-		return s.Free()
+		if err := s.Free(); err != nil {
+			return err
+		}
+
+		// Synchronize before advancing the clock: the first barrier cannot
+		// complete anywhere until every rank has entered it (dissemination
+		// hears transitively from everyone, including rank 0, which only
+		// enters once the gather above is fully received), so no rank can
+		// race past the death time while monitored traffic is in flight.
+		// The second barrier then materializes node 2's failure; with the
+		// clocks skewed by hours, death may surface in either.
+		advance := func() error {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			c.Proc().Compute(2 * deathAt)
+			return c.Barrier()
+		}
+		if err := advance(); err != nil {
+			if c.Proc().Failed() {
+				return err // dying ranks unwind, the world keeps running
+			}
+			if !errors.Is(err, mpi.ErrProcFailed) && !errors.Is(err, mpi.ErrRevoked) {
+				return err
+			}
+			if err := c.Revoke(); err != nil {
+				return err
+			}
+		}
+		nc, err := c.Shrink()
+		if err != nil {
+			return err
+		}
+		if nc.Rank() == 0 {
+			avail = SurvivorCores(nc)
+		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// Node 2 fails. Relaunch on nodes 0 and 1.
-	avail := Shrink(topo, 2)
+	if got := w1.FailedRanks(); len(got) != 4 {
+		t.Fatalf("FailedRanks = %v, want the 4 ranks of node 2", got)
+	}
+	if len(avail) != 2*24 {
+		t.Fatalf("SurvivorCores returned %d cores, want 48 (nodes 0 and 1)", len(avail))
+	}
+	for _, core := range avail {
+		if topo.NodeOf(core) == 2 {
+			t.Fatalf("SurvivorCores includes core %d on the dead node", core)
+		}
+	}
 	relaunch := func(placement []int) time.Duration {
 		w, err := mpi.NewWorld(cloneMachine(mach), np, mpi.WithPlacement(placement))
 		if err != nil {

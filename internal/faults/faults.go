@@ -1,0 +1,295 @@
+// Package faults provides deterministic, seedable fault injection for the
+// simulated machine: per-link latency spikes and bandwidth degradation,
+// message drop and duplication, and node death at a virtual time. A Plan
+// declares what goes wrong and when; an Injector evaluates it per transfer
+// for netsim and per node for the MPI runtime's failure detector.
+//
+// Every probabilistic decision hashes the transfer parameters (source,
+// destination, size, virtual time) together with the plan seed, so the
+// fault sequence is a pure function of the simulated communication pattern:
+// two runs of the same program with the same plan see identical faults, no
+// matter how the rank goroutines interleave on the host.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"mpimon/internal/netsim"
+	"mpimon/internal/topology"
+)
+
+// LinkRule perturbs transfers between two nodes during a window of virtual
+// time. Src/Dst select the sending and receiving node (-1 matches any);
+// intra-node traffic matches a rule only when both endpoints name the node
+// explicitly or the rule is fully wildcarded.
+type LinkRule struct {
+	// SrcNode and DstNode are topology node indices; -1 is a wildcard.
+	SrcNode, DstNode int
+	// From and Until bound the active window in virtual time since the
+	// start of the run; Until == 0 means "forever".
+	From, Until time.Duration
+	// ExtraLatency is added to every matching transfer (latency spike).
+	ExtraLatency time.Duration
+	// BandwidthScale multiplies the link bandwidth for matching
+	// transfers; 0 leaves it unchanged, 0.1 degrades it to a tenth.
+	BandwidthScale float64
+	// DropProb and DupProb are per-message probabilities of losing or
+	// duplicating a matching transfer, in [0,1].
+	DropProb, DupProb float64
+}
+
+// NodeDeath kills a node at a virtual time: every rank placed on it fails
+// permanently the next time it enters the runtime after At.
+type NodeDeath struct {
+	Node int
+	At   time.Duration
+}
+
+// Plan is a declarative, seedable fault schedule. The zero Plan injects
+// nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision; two runs with the same
+	// seed and traffic see the same faults.
+	Seed int64
+	// Links lists the link perturbations; every matching rule applies
+	// (latencies add up, bandwidth scales multiply).
+	Links []LinkRule
+	// Deaths lists node deaths.
+	Deaths []NodeDeath
+}
+
+// Validate checks the plan against a machine of numNodes nodes.
+func (p *Plan) Validate(numNodes int) error {
+	for i, r := range p.Links {
+		if r.SrcNode < -1 || r.SrcNode >= numNodes {
+			return fmt.Errorf("faults: rule %d: source node %d out of range [0,%d)", i, r.SrcNode, numNodes)
+		}
+		if r.DstNode < -1 || r.DstNode >= numNodes {
+			return fmt.Errorf("faults: rule %d: destination node %d out of range [0,%d)", i, r.DstNode, numNodes)
+		}
+		if r.From < 0 || r.Until < 0 || (r.Until != 0 && r.Until < r.From) {
+			return fmt.Errorf("faults: rule %d: bad window [%v,%v)", i, r.From, r.Until)
+		}
+		if r.ExtraLatency < 0 {
+			return fmt.Errorf("faults: rule %d: negative extra latency %v", i, r.ExtraLatency)
+		}
+		if r.BandwidthScale < 0 || r.BandwidthScale > 1 {
+			return fmt.Errorf("faults: rule %d: bandwidth scale %v outside [0,1]", i, r.BandwidthScale)
+		}
+		if r.DropProb < 0 || r.DropProb > 1 {
+			return fmt.Errorf("faults: rule %d: drop probability %v outside [0,1]", i, r.DropProb)
+		}
+		if r.DupProb < 0 || r.DupProb > 1 {
+			return fmt.Errorf("faults: rule %d: duplication probability %v outside [0,1]", i, r.DupProb)
+		}
+	}
+	for i, d := range p.Deaths {
+		if d.Node < 0 || d.Node >= numNodes {
+			return fmt.Errorf("faults: death %d: node %d out of range [0,%d)", i, d.Node, numNodes)
+		}
+		if d.At < 0 {
+			return fmt.Errorf("faults: death %d: negative time %v", i, d.At)
+		}
+	}
+	return nil
+}
+
+// EventKind labels what an injector did, for observers and counters.
+type EventKind int
+
+const (
+	EventLatency EventKind = iota
+	EventBandwidth
+	EventDrop
+	EventDuplicate
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventLatency:
+		return "latency"
+	case EventBandwidth:
+		return "bandwidth"
+	case EventDrop:
+		return "drop"
+	case EventDuplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+// Event is one applied fault, delivered to the injector's observer.
+type Event struct {
+	Kind    EventKind
+	SrcNode int
+	DstNode int
+	Size    int
+	When    int64 // virtual ns
+}
+
+// Stats is a snapshot of the injector's fault counts.
+type Stats struct {
+	LatencyFaults   uint64
+	BandwidthFaults uint64
+	Drops           uint64
+	Duplicates      uint64
+}
+
+// Injector evaluates a Plan for a concrete topology. It implements
+// netsim.FaultInjector and the node-death queries of the MPI runtime. Safe
+// for concurrent use.
+type Injector struct {
+	topo  *topology.Topology
+	seed  uint64
+	rules []LinkRule
+	// deathAt[node] is the virtual death time in ns, math.MaxInt64 when
+	// the node never dies.
+	deathAt []int64
+
+	stats struct {
+		latency, bandwidth, drops, dups atomic.Uint64
+	}
+	// obs, when non-nil, is called for every applied fault. Install it
+	// before the simulation starts.
+	obs func(Event)
+}
+
+// NewInjector validates the plan against the topology and builds the
+// evaluator.
+func NewInjector(p *Plan, topo *topology.Topology) (*Injector, error) {
+	if err := p.Validate(topo.NumNodes()); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		topo:    topo,
+		seed:    uint64(p.Seed),
+		rules:   append([]LinkRule(nil), p.Links...),
+		deathAt: make([]int64, topo.NumNodes()),
+	}
+	for i := range in.deathAt {
+		in.deathAt[i] = math.MaxInt64
+	}
+	for _, d := range p.Deaths {
+		if ns := int64(d.At); ns < in.deathAt[d.Node] {
+			in.deathAt[d.Node] = ns
+		}
+	}
+	return in, nil
+}
+
+// SetObserver installs (or removes, with nil) the per-fault observer. Must
+// be called before the simulation runs; the observer is called concurrently
+// from the rank goroutines.
+func (in *Injector) SetObserver(fn func(Event)) { in.obs = fn }
+
+// Stats returns a snapshot of the fault counts.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		LatencyFaults:   in.stats.latency.Load(),
+		BandwidthFaults: in.stats.bandwidth.Load(),
+		Drops:           in.stats.drops.Load(),
+		Duplicates:      in.stats.dups.Load(),
+	}
+}
+
+// DeadAt reports whether the node is dead at virtual time now.
+func (in *Injector) DeadAt(node int, now int64) bool {
+	return now >= in.deathAt[node]
+}
+
+// DeathTime returns the node's scheduled death time and whether it has one.
+func (in *Injector) DeathTime(node int) (time.Duration, bool) {
+	ns := in.deathAt[node]
+	if ns == math.MaxInt64 {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+func (r *LinkRule) matches(src, dst int, now int64) bool {
+	if r.SrcNode >= 0 && r.SrcNode != src {
+		return false
+	}
+	if r.DstNode >= 0 && r.DstNode != dst {
+		return false
+	}
+	if now < int64(r.From) {
+		return false
+	}
+	if r.Until != 0 && now >= int64(r.Until) {
+		return false
+	}
+	return true
+}
+
+// TransferFault implements netsim.FaultInjector: it folds every matching
+// rule into one netsim.Fault for the transfer.
+func (in *Injector) TransferFault(src, dst, size int, now int64) (netsim.Fault, bool) {
+	var f netsim.Fault
+	hit := false
+	sn, dn := in.topo.NodeOf(src), in.topo.NodeOf(dst)
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(sn, dn, now) {
+			continue
+		}
+		if r.ExtraLatency > 0 {
+			f.ExtraLatency += r.ExtraLatency
+			in.stats.latency.Add(1)
+			in.emit(EventLatency, sn, dn, size, now)
+			hit = true
+		}
+		if r.BandwidthScale > 0 && r.BandwidthScale != 1 {
+			if f.BandwidthScale == 0 {
+				f.BandwidthScale = 1
+			}
+			f.BandwidthScale *= r.BandwidthScale
+			in.stats.bandwidth.Add(1)
+			in.emit(EventBandwidth, sn, dn, size, now)
+			hit = true
+		}
+		if !f.Drop && r.DropProb > 0 && in.roll(i, 0, src, dst, size, now) < r.DropProb {
+			f.Drop = true
+			in.stats.drops.Add(1)
+			in.emit(EventDrop, sn, dn, size, now)
+			hit = true
+		}
+		if !f.Drop && !f.Duplicate && r.DupProb > 0 && in.roll(i, 1, src, dst, size, now) < r.DupProb {
+			f.Duplicate = true
+			in.stats.dups.Add(1)
+			in.emit(EventDuplicate, sn, dn, size, now)
+			hit = true
+		}
+	}
+	return f, hit
+}
+
+func (in *Injector) emit(kind EventKind, sn, dn, size int, now int64) {
+	if in.obs != nil {
+		in.obs(Event{Kind: kind, SrcNode: sn, DstNode: dn, Size: size, When: now})
+	}
+}
+
+// roll returns a deterministic pseudo-uniform value in [0,1) for one
+// probabilistic decision (rule index, draw index, transfer parameters).
+func (in *Injector) roll(rule, draw, src, dst, size int, now int64) float64 {
+	h := in.seed
+	h = mix(h ^ uint64(rule)<<32 ^ uint64(draw))
+	h = mix(h ^ uint64(src)<<24 ^ uint64(dst))
+	h = mix(h ^ uint64(size))
+	h = mix(h ^ uint64(now))
+	// 53 significand bits of the hash, scaled to [0,1).
+	return float64(h>>11) / float64(1<<53)
+}
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"mpimon/internal/netsim"
+	"mpimon/internal/topology"
+)
+
+func testTopo() *topology.Topology { return topology.MustNew(4, 2, 4) }
+
+func TestPlanValidate(t *testing.T) {
+	topo := testTopo()
+	nodes := topo.NumNodes()
+	for _, tc := range []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"wildcard rule", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, DropProb: 0.5}}}, true},
+		{"full rule", Plan{Links: []LinkRule{{SrcNode: 0, DstNode: 3, From: time.Millisecond, Until: time.Second, ExtraLatency: time.Microsecond, BandwidthScale: 0.5, DupProb: 0.1}}}, true},
+		{"death", Plan{Deaths: []NodeDeath{{Node: nodes - 1, At: time.Second}}}, true},
+		{"src out of range", Plan{Links: []LinkRule{{SrcNode: nodes, DstNode: -1}}}, false},
+		{"dst out of range", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -2}}}, false},
+		{"window inverted", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, From: time.Second, Until: time.Millisecond}}}, false},
+		{"negative latency", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, ExtraLatency: -1}}}, false},
+		{"scale above one", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, BandwidthScale: 1.5}}}, false},
+		{"drop prob above one", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, DropProb: 1.1}}}, false},
+		{"dup prob negative", Plan{Links: []LinkRule{{SrcNode: -1, DstNode: -1, DupProb: -0.1}}}, false},
+		{"death node out of range", Plan{Deaths: []NodeDeath{{Node: nodes}}}, false},
+		{"death negative time", Plan{Deaths: []NodeDeath{{Node: 0, At: -time.Second}}}, false},
+	} {
+		err := tc.plan.Validate(nodes)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation should have failed", tc.name)
+		}
+	}
+}
+
+// transferSeq evaluates a fixed synthetic traffic pattern against the plan
+// and returns the resulting fault decisions, for determinism comparisons.
+func transferSeq(t *testing.T, plan *Plan) []netsim.Fault {
+	t.Helper()
+	topo := testTopo()
+	in, err := NewInjector(plan, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := topo.Leaves()
+	var out []netsim.Fault
+	now := int64(0)
+	for i := 0; i < 500; i++ {
+		src := (i * 7) % cores
+		dst := (i*13 + 5) % cores
+		size := 64 << (i % 10)
+		f, _ := in.TransferFault(src, dst, size, now)
+		out = append(out, f)
+		now += int64(50 * time.Microsecond)
+	}
+	return out
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		plan := &Plan{
+			Seed: seed,
+			Links: []LinkRule{
+				{SrcNode: -1, DstNode: -1, DropProb: 0.2, DupProb: 0.1},
+				{SrcNode: 0, DstNode: 1, ExtraLatency: 3 * time.Microsecond, BandwidthScale: 0.25},
+			},
+		}
+		a := transferSeq(t, plan)
+		b := transferSeq(t, plan)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: event %d differs between identical runs: %+v vs %+v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDeterminismDifferentSeeds(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{Seed: seed, Links: []LinkRule{{SrcNode: -1, DstNode: -1, DropProb: 0.3}}}
+	}
+	a := transferSeq(t, mk(1))
+	b := transferSeq(t, mk(2))
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestDropRateRoughlyMatchesProbability(t *testing.T) {
+	plan := &Plan{Seed: 99, Links: []LinkRule{{SrcNode: -1, DstNode: -1, DropProb: 0.25}}}
+	seq := transferSeq(t, plan)
+	drops := 0
+	for _, f := range seq {
+		if f.Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / float64(len(seq))
+	if rate < 0.15 || rate > 0.35 {
+		t.Fatalf("drop rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestRuleWindowAndNodeMatching(t *testing.T) {
+	topo := testTopo()
+	plan := &Plan{Links: []LinkRule{{
+		SrcNode:      1,
+		DstNode:      2,
+		From:         time.Millisecond,
+		Until:        2 * time.Millisecond,
+		ExtraLatency: time.Microsecond,
+	}}}
+	in, err := NewInjector(plan, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOn := func(node int) int {
+		for c := 0; c < topo.Leaves(); c++ {
+			if topo.NodeOf(c) == node {
+				return c
+			}
+		}
+		t.Fatalf("no core on node %d", node)
+		return -1
+	}
+	inWindow := int64(1500 * time.Microsecond / time.Nanosecond)
+	for _, tc := range []struct {
+		name     string
+		src, dst int
+		now      int64
+		hit      bool
+	}{
+		{"match", coreOn(1), coreOn(2), inWindow, true},
+		{"wrong source", coreOn(0), coreOn(2), inWindow, false},
+		{"wrong destination", coreOn(1), coreOn(3), inWindow, false},
+		{"before window", coreOn(1), coreOn(2), int64(500 * time.Microsecond), false},
+		{"after window", coreOn(1), coreOn(2), int64(3 * time.Millisecond), false},
+	} {
+		f, ok := in.TransferFault(tc.src, tc.dst, 1000, tc.now)
+		if ok != tc.hit {
+			t.Errorf("%s: hit=%v, want %v", tc.name, ok, tc.hit)
+		}
+		if tc.hit && f.ExtraLatency != time.Microsecond {
+			t.Errorf("%s: latency %v, want 1µs", tc.name, f.ExtraLatency)
+		}
+	}
+}
+
+func TestStatsAndObserver(t *testing.T) {
+	plan := &Plan{Seed: 5, Links: []LinkRule{{SrcNode: -1, DstNode: -1, DropProb: 1, ExtraLatency: time.Microsecond}}}
+	in, err := NewInjector(plan, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Event
+	in.SetObserver(func(e Event) { seen = append(seen, e) })
+	for i := 0; i < 10; i++ {
+		in.TransferFault(0, 9, 100, int64(i))
+	}
+	st := in.Stats()
+	if st.Drops != 10 || st.LatencyFaults != 10 {
+		t.Fatalf("stats = %+v, want 10 drops and 10 latency faults", st)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("observer saw %d events, want 20", len(seen))
+	}
+}
+
+func TestDeathTimes(t *testing.T) {
+	plan := &Plan{Deaths: []NodeDeath{{Node: 2, At: time.Second}}}
+	in, err := NewInjector(plan, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.DeadAt(2, int64(time.Second)-1) {
+		t.Fatal("node 2 dead before its time")
+	}
+	if !in.DeadAt(2, int64(time.Second)) {
+		t.Fatal("node 2 alive at its death time")
+	}
+	if in.DeadAt(1, 1<<62) {
+		t.Fatal("node 1 should never die")
+	}
+	if d, ok := in.DeathTime(2); !ok || d != time.Second {
+		t.Fatalf("DeathTime(2) = %v,%v", d, ok)
+	}
+	if _, ok := in.DeathTime(0); ok {
+		t.Fatal("node 0 has no death time")
+	}
+}

@@ -58,7 +58,7 @@ func (s *Session) AllgatherData(flags Flags) (matCounts, matBytes []uint64, err 
 	row := mpi.EncodeUint64s(append(counts, bytes...))
 	all := make([]byte, len(row)*n)
 	if err := c.Allgather(row, all); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrMPITFail, err)
 	}
 	matCounts = make([]uint64, n*n)
 	matBytes = make([]uint64, n*n)
@@ -92,7 +92,7 @@ func (s *Session) RootgatherData(root int, flags Flags) (matCounts, matBytes []u
 		all = make([]byte, len(row)*n)
 	}
 	if err := c.Gather(row, all, root); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrMPITFail, err)
 	}
 	if c.Rank() != root {
 		return nil, nil, nil

@@ -135,11 +135,11 @@ func Init(p *mpi.Proc) (*Env, error) {
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
 		hc, err := e.tsess.AllocHandle(names[cl][0])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+			return nil, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
 		hb, err := e.tsess.AllocHandle(names[cl][1])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMPITFail, err)
+			return nil, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
 		e.hCounts[cl], e.hBytes[cl] = hc, hb
 	}
@@ -200,10 +200,10 @@ func (e *Env) readPvars() (counts, bytes [pml.NumClasses][]uint64, err error) {
 		counts[cl] = make([]uint64, n)
 		bytes[cl] = make([]uint64, n)
 		if err = e.hCounts[cl].Read(counts[cl]); err != nil {
-			return counts, bytes, fmt.Errorf("%w: %v", ErrMPITFail, err)
+			return counts, bytes, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
 		if err = e.hBytes[cl].Read(bytes[cl]); err != nil {
-			return counts, bytes, fmt.Errorf("%w: %v", ErrMPITFail, err)
+			return counts, bytes, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
 	}
 	return counts, bytes, nil

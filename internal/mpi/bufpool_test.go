@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
+
+	"mpimon/internal/faults"
 )
 
 // These tests pin down the safety contract of the pooled message buffers
@@ -258,9 +261,26 @@ func TestPooledAlltoallStress(t *testing.T) {
 }
 
 func BenchmarkSendRecvAllocs(b *testing.B) {
+	benchmarkSendRecv(b, nil)
+}
+
+// BenchmarkSendRecvFaultPlan prices the enabled fault path: a plan with one
+// never-matching rule forces every transfer through the injector, the
+// disabled/enabled split BenchmarkSendRecvAllocs measures the other side of.
+func BenchmarkSendRecvFaultPlan(b *testing.B) {
+	benchmarkSendRecv(b, &faults.Plan{Links: []faults.LinkRule{
+		{SrcNode: 0, DstNode: 1, From: time.Hour, Until: time.Hour + time.Second, ExtraLatency: time.Microsecond},
+	}})
+}
+
+func benchmarkSendRecv(b *testing.B, plan *faults.Plan) {
 	for _, size := range []int{64, 64 << 10, 1 << 20} {
 		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
-			w, err := NewWorld(testMachine(), 2)
+			var opts []Option
+			if plan != nil {
+				opts = append(opts, WithFaultPlan(plan))
+			}
+			w, err := NewWorld(testMachine(), 2, opts...)
 			if err != nil {
 				b.Fatal(err)
 			}

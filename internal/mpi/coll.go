@@ -59,7 +59,7 @@ func (c *Comm) Barrier() error {
 	defer c.span("barrier")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.barrier()
+	return c.herr(c.barrier())
 }
 
 func (c *Comm) barrier() error {
@@ -86,7 +86,7 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 	defer c.span("bcast")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.bcast(buf, len(buf), root, true)
+	return c.herr(c.bcast(buf, len(buf), root, true))
 }
 
 // BcastN is Bcast for a logical payload of size bytes with no data movement
@@ -97,7 +97,7 @@ func (c *Comm) BcastN(size, root int) error {
 	defer c.span("bcast")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.bcast(nil, size, root, false)
+	return c.herr(c.bcast(nil, size, root, false))
 }
 
 // bcast is the shared binomial-tree walk. When carry is true, buf holds the
@@ -157,7 +157,7 @@ func (c *Comm) Reduce(send, recv []byte, dt Datatype, op Op, root int) error {
 	defer c.span("reduce")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.reduceBinary(send, recv, len(send), dt, op, root, true)
+	return c.herr(c.reduceBinary(send, recv, len(send), dt, op, root, true))
 }
 
 // ReduceN is Reduce for a logical payload of size bytes (skeleton mode): the
@@ -168,7 +168,7 @@ func (c *Comm) ReduceN(size, root int) error {
 	defer c.span("reduce")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.reduceBinary(nil, nil, size, Byte, OpSum, root, false)
+	return c.herr(c.reduceBinary(nil, nil, size, Byte, OpSum, root, false))
 }
 
 func (c *Comm) reduceBinary(send, recv []byte, size int, dt Datatype, op Op, root int, carry bool) error {
@@ -222,7 +222,10 @@ func (c *Comm) ReduceBinomial(send, recv []byte, dt Datatype, op Op, root int) e
 	defer c.span("reduce.binomial")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.reduceBinomial(send, recv, dt, op, root))
+}
 
+func (c *Comm) reduceBinomial(send, recv []byte, dt Datatype, op Op, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err
@@ -268,12 +271,12 @@ func (c *Comm) Allreduce(send, recv []byte, dt Datatype, op Op) error {
 	c.p.beginInternal()
 	defer c.p.endInternal()
 	if len(recv) != len(send) {
-		return fmt.Errorf("mpi: allreduce buffers differ in length (%d vs %d)", len(send), len(recv))
+		return c.herr(fmt.Errorf("mpi: allreduce buffers differ in length (%d vs %d)", len(send), len(recv)))
 	}
 	if err := c.reduceBinary(send, recv, len(send), dt, op, 0, true); err != nil {
-		return err
+		return c.herr(err)
 	}
-	return c.bcast(recv, len(recv), 0, true)
+	return c.herr(c.bcast(recv, len(recv), 0, true))
 }
 
 // Gather collects every member's equally-sized send buffer into root's recv
@@ -285,7 +288,7 @@ func (c *Comm) Gather(send, recv []byte, root int) error {
 	defer c.span("gather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.gather(send, recv, root)
+	return c.herr(c.gather(send, recv, root))
 }
 
 func (c *Comm) gather(send, recv []byte, root int) error {
@@ -320,6 +323,10 @@ func (c *Comm) GatherN(size, root int) error {
 	defer c.span("gather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.gatherN(size, root))
+}
+
+func (c *Comm) gatherN(size, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err
@@ -348,7 +355,7 @@ func (c *Comm) Allgather(send, recv []byte) error {
 	defer c.span("allgather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
-	return c.allgather(send, recv)
+	return c.herr(c.allgather(send, recv))
 }
 
 func (c *Comm) allgather(send, recv []byte) error {
@@ -384,6 +391,10 @@ func (c *Comm) AllgatherN(size int) error {
 	defer c.span("allgather")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.allgatherN(size))
+}
+
+func (c *Comm) allgatherN(size int) error {
 	n := len(c.group)
 	if n == 1 {
 		return nil
@@ -411,7 +422,10 @@ func (c *Comm) Scatter(send, recv []byte, root int) error {
 	defer c.span("scatter")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.scatter(send, recv, root))
+}
 
+func (c *Comm) scatter(send, recv []byte, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err
@@ -446,7 +460,10 @@ func (c *Comm) Alltoall(send, recv []byte) error {
 	defer c.span("alltoall")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.alltoall(send, recv))
+}
 
+func (c *Comm) alltoall(send, recv []byte) error {
 	n := len(c.group)
 	if len(send)%n != 0 || len(recv) != len(send) {
 		return fmt.Errorf("mpi: alltoall buffers must be equal multiples of the group size (send %d, recv %d, n %d)", len(send), len(recv), n)

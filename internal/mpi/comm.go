@@ -18,6 +18,11 @@ type Comm struct {
 	group    []int // comm rank -> world rank
 	rank     int
 	splitSeq int // number of Split/Dup calls issued through this handle
+
+	// Fault-tolerance state (ulfm.go / errors.go).
+	shrinkSeq int        // Shrink attempts issued through this handle
+	agreeSeq  int        // Agree calls issued through this handle
+	errh      ErrHandler // per-communicator error handler, may be nil
 }
 
 // Rank returns the calling process's rank in this communicator.
@@ -68,7 +73,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	err := c.allgather(send, all)
 	c.p.endInternal()
 	if err != nil {
-		return nil, err
+		return nil, c.herr(err)
 	}
 
 	type member struct{ color, key, rank int }
@@ -106,7 +111,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		}
 	}
 	ctx := c.p.world.splitCtx(c.ctx, seq, color)
-	return &Comm{p: c.p, ctx: ctx, group: group, rank: myRank}, nil
+	return &Comm{p: c.p, ctx: ctx, group: group, rank: myRank, errh: c.errh}, nil
 }
 
 // Dup duplicates the communicator (same group, fresh context). Collective.

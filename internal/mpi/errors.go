@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel error classes of the fault-tolerance layer, in the image of the
+// ULFM chapter of the MPI standard. Operations return them wrapped in an
+// *MPIError carrying the operation and the rank involved; match with
+// errors.Is.
+var (
+	// ErrProcFailed reports that a process involved in the operation has
+	// failed (MPI_ERR_PROC_FAILED): the destination of a send, the
+	// source of a receive, a member of a collective, or the calling
+	// process itself when its node died.
+	ErrProcFailed = errors.New("mpi: process failed")
+	// ErrRevoked reports that the communicator was revoked
+	// (MPI_ERR_REVOKED): after Comm.Revoke, every pending and future
+	// operation on the communicator fails with it, so all members learn
+	// about a failure even if they never talk to the failed process.
+	ErrRevoked = errors.New("mpi: communicator revoked")
+	// ErrTimeout reports that an operation with a deadline (RecvTimeout,
+	// the reorder mapping step) did not complete in time.
+	ErrTimeout = errors.New("mpi: operation timed out")
+)
+
+// MPIError is the typed error of the runtime's fault-tolerance layer: an
+// error class (one of the sentinels above, or ErrAborted) plus where it
+// happened. errors.Is matches the class through Unwrap.
+type MPIError struct {
+	// Kind is the error class sentinel.
+	Kind error
+	// Op names the operation ("send", "recv", "agree", ...).
+	Op string
+	// Rank is the world rank the error is about: the failed process for
+	// ErrProcFailed, -1 when no specific rank is involved.
+	Rank int
+}
+
+// Error formats the class, operation and rank.
+func (e *MPIError) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("%v (op %s, world rank %d)", e.Kind, e.Op, e.Rank)
+	}
+	return fmt.Sprintf("%v (op %s)", e.Kind, e.Op)
+}
+
+// Unwrap exposes the class sentinel to errors.Is.
+func (e *MPIError) Unwrap() error { return e.Kind }
+
+func failedErr(op string, rank int) error {
+	return &MPIError{Kind: ErrProcFailed, Op: op, Rank: rank}
+}
+
+func revokedErr(op string) error {
+	return &MPIError{Kind: ErrRevoked, Op: op, Rank: -1}
+}
+
+func timeoutErr(op string) error {
+	return &MPIError{Kind: ErrTimeout, Op: op, Rank: -1}
+}
+
+// ErrHandler is a per-communicator error handler: every error returned by
+// an operation on the communicator passes through it, so an application can
+// translate, log, or recover in one place (the MPI_Errhandler shape). It
+// must return the error to surface (possibly the one given, possibly nil to
+// swallow it).
+type ErrHandler func(c *Comm, err error) error
+
+// SetErrHandler installs the communicator's error handler (nil removes
+// it). Handlers are inherited by communicators derived with Split, Dup and
+// Shrink. Local operation.
+func (c *Comm) SetErrHandler(h ErrHandler) { c.errh = h }
+
+// herr routes an error through the communicator's handler, if any.
+func (c *Comm) herr(err error) error {
+	if err != nil && c.errh != nil {
+		return c.errh(c, err)
+	}
+	return err
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpimon/internal/faults"
 	"mpimon/internal/netsim"
 	"mpimon/internal/pml"
 	"mpimon/internal/telemetry"
@@ -50,6 +51,26 @@ type World struct {
 
 	aborted atomic.Bool
 	ran     bool
+
+	// Fault-tolerance state (ulfm.go). ftOn is the single hot-path gate:
+	// false until a fault plan is installed or a communicator is revoked,
+	// and every fault check hides behind it.
+	fplan       *faults.Plan
+	inj         *faults.Injector
+	ftOn        atomic.Bool
+	failed      []atomic.Bool
+	failedCount atomic.Int32
+	revMu       sync.RWMutex
+	revoked     map[int]bool
+	revCount    atomic.Int32
+	deadMu      sync.Mutex
+	deadNodes   map[int]bool
+	agreeMu     sync.Mutex
+	agreeCond   sync.Cond
+	agreements  map[agreeKey]*agreement
+	shrinkMu    sync.Mutex
+	shrinks     map[shrinkKey]*shrinkState
+	ftm         *ftMetrics
 }
 
 // ErrAborted is returned by blocked operations when another rank of the
@@ -98,6 +119,9 @@ func NewWorld(mach *netsim.Machine, np int, opts ...Option) (*World, error) {
 		}
 	}
 	if err := validatePlacement(w.placement, np, mach.Topo.Leaves()); err != nil {
+		return nil, err
+	}
+	if err := w.initFaults(); err != nil {
 		return nil, err
 	}
 	w.procs = make([]*Proc, np)
@@ -173,7 +197,10 @@ func (w *World) Run(fn func(c *Comm) error) error {
 				if rec := recover(); rec != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
 				}
-				if errs[rank] != nil {
+				// A rank exiting because its own node died is a planned
+				// failure the survivors can recover from, not a reason to
+				// tear the world down.
+				if errs[rank] != nil && !w.RankFailed(rank) {
 					w.abort()
 				}
 			}()
@@ -181,18 +208,27 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
-	// Report real failures, not the ErrAborted fallout they caused on
-	// other ranks, unless fallout is all there is.
+	// Report real failures: not the ErrAborted fallout they caused on
+	// other ranks, and not the deaths of ranks a fault plan killed (their
+	// ErrProcFailed exit is the expected way out) — unless fallout is all
+	// there is.
 	var real []error
-	for _, e := range errs {
-		if e != nil && !errors.Is(e, ErrAborted) {
-			real = append(real, e)
+	for r, e := range errs {
+		if e == nil || errors.Is(e, ErrAborted) {
+			continue
 		}
+		if w.RankFailed(r) && errors.Is(e, ErrProcFailed) {
+			continue
+		}
+		real = append(real, e)
 	}
 	if len(real) > 0 {
 		return errors.Join(real...)
 	}
-	return errors.Join(errs...)
+	if w.aborted.Load() {
+		return errors.Join(errs...)
+	}
+	return nil
 }
 
 // abort wakes every rank blocked in a receive so the world can unwind
@@ -202,6 +238,9 @@ func (w *World) abort() {
 	for _, p := range w.procs {
 		p.queue.cond.Broadcast()
 	}
+	w.agreeMu.Lock()
+	w.agreeCond.Broadcast()
+	w.agreeMu.Unlock()
 }
 
 // RunWithTimeout is Run with a watchdog: if the program has not completed
@@ -250,6 +289,7 @@ type Proc struct {
 	world *World
 	rank  int
 	core  int
+	node  int // topology node of core (fault-plan death checks)
 
 	clock    int64 // virtual ns
 	queue    msgQueue
@@ -257,6 +297,11 @@ type Proc struct {
 	internal int   // >0 while executing inside a collective implementation
 	mpiTime  int64 // virtual ns spent in top-level MPI calls
 	rng      *rand.Rand
+
+	// dead and deathErr record this process's own materialized failure;
+	// owned by the process goroutine.
+	dead     bool
+	deathErr error
 
 	// tr and tm are nil unless the world was built WithTelemetry; every
 	// telemetry hook guards on that, which is the whole disabled fast path.
@@ -269,6 +314,7 @@ func newProc(w *World, rank int) *Proc {
 		world: w,
 		rank:  rank,
 		core:  w.placement[rank],
+		node:  w.mach.Topo.NodeOf(w.placement[rank]),
 		mon:   pml.NewMonitor(w.size, w.level),
 		rng:   rand.New(rand.NewSource(int64(rank)*1_000_003 + 17)),
 	}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // message is one in-flight point-to-point message. src is the sender's rank
@@ -54,40 +55,84 @@ func (q *msgQueue) put(m *message) {
 	q.cond.Broadcast()
 }
 
-// take removes and returns the first queued message matching (ctx, src,
+// take removes and returns the first queued message matching (c.ctx, src,
 // tag), blocking until one arrives. First-queued order preserves MPI's
-// non-overtaking guarantee between a fixed sender/receiver pair. It returns
-// nil if the world was aborted while waiting.
-func (q *msgQueue) take(ctx, src, tag int) *message {
+// non-overtaking guarantee between a fixed sender/receiver pair. It
+// returns ErrAborted if the world aborts while waiting, and an MPIError
+// when the wait can never be satisfied because of a failure or revocation
+// (c.waitErr); a pending match is always delivered before either.
+func (q *msgQueue) take(c *Comm, src, tag int) (*message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		for i, m := range q.items {
-			if m.matches(ctx, src, tag) {
+			if m.matches(c.ctx, src, tag) {
 				q.items = append(q.items[:i], q.items[i+1:]...)
-				return m
+				return m, nil
 			}
 		}
 		if q.aborted.Load() {
-			return nil
+			return nil, ErrAborted
+		}
+		if err := c.waitErr(src); err != nil {
+			return nil, err
+		}
+		q.cond.Wait()
+	}
+}
+
+// takeDeadline is take with a wall-clock deadline, after which it returns
+// ErrTimeout (RecvTimeout's engine; the timer allocation is off the
+// fault-free hot path).
+func (q *msgQueue) takeDeadline(c *Comm, src, tag int, d time.Duration) (*message, error) {
+	var expired atomic.Bool
+	timer := time.AfterFunc(d, func() {
+		// Flip the flag under the queue lock so a waiter between its
+		// check and cond.Wait cannot miss the wakeup.
+		q.mu.Lock()
+		expired.Store(true)
+		q.mu.Unlock()
+		q.cond.Broadcast()
+	})
+	defer timer.Stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.items {
+			if m.matches(c.ctx, src, tag) {
+				q.items = append(q.items[:i], q.items[i+1:]...)
+				return m, nil
+			}
+		}
+		if q.aborted.Load() {
+			return nil, ErrAborted
+		}
+		if err := c.waitErr(src); err != nil {
+			return nil, err
+		}
+		if expired.Load() {
+			return nil, timeoutErr("recv")
 		}
 		q.cond.Wait()
 	}
 }
 
 // peek blocks until a matching message is queued and returns it without
-// removing it (Probe); nil if the world was aborted while waiting.
-func (q *msgQueue) peek(ctx, src, tag int) *message {
+// removing it (Probe); error semantics as in take.
+func (q *msgQueue) peek(c *Comm, src, tag int) (*message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		for _, m := range q.items {
-			if m.matches(ctx, src, tag) {
-				return m
+			if m.matches(c.ctx, src, tag) {
+				return m, nil
 			}
 		}
 		if q.aborted.Load() {
-			return nil
+			return nil, ErrAborted
+		}
+		if err := c.waitErr(src); err != nil {
+			return nil, err
 		}
 		q.cond.Wait()
 	}

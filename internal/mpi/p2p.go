@@ -23,7 +23,7 @@ type Status struct {
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	return c.send(dst, tag, cloneMsg(data), c.p.class())
+	return c.herr(c.send(dst, tag, cloneMsg(data), c.p.class()))
 }
 
 // SendN transmits a message carrying only a logical payload size, with no
@@ -36,7 +36,7 @@ func (c *Comm) SendN(dst, tag, size int) error {
 	if size < 0 {
 		return fmt.Errorf("mpi: negative message size %d", size)
 	}
-	return c.send(dst, tag, ownedMsg(nil, size), c.p.class())
+	return c.herr(c.send(dst, tag, ownedMsg(nil, size), c.p.class()))
 }
 
 // send is the common path under Send/SendN/collectives/one-sided. It takes
@@ -60,10 +60,16 @@ func (c *Comm) send(dst, tag int, m *message, class pml.Class) error {
 	dstProc := w.procs[dstWorld]
 	size := m.size
 
+	if w.ftOn.Load() {
+		if err := c.preSend(dstWorld, "send"); err != nil {
+			m.release()
+			return err
+		}
+	}
 	p.clock += int64(w.mach.SendOverhead)
 	p.mon.Record(class, dstWorld, size, p.clock)
 	sentAt := p.clock
-	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
+	senderFree, arrival, fault := w.net.TransferF(p.core, dstProc.core, size, p.clock)
 	if senderFree > p.clock {
 		p.clock = senderFree
 	}
@@ -74,10 +80,33 @@ func (c *Comm) send(dst, tag int, m *message, class pml.Class) error {
 		cb.Add(uint64(size))
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 	}
+	if fault.Drop {
+		// The sender is charged and monitored as usual — the bytes left
+		// the card — but the receiver never sees the message.
+		m.release()
+		return nil
+	}
 	m.src, m.tag, m.ctx = c.rank, tag, c.ctx
 	m.sentAt, m.arrival = sentAt, arrival
+	if fault.Duplicate {
+		dstProc.queue.put(c.dupMsg(m, fault.DupArrival))
+	}
 	dstProc.queue.put(m)
 	return nil
+}
+
+// dupMsg builds the spurious copy of a duplicated message (its own backing
+// buffer: the two copies are consumed and recycled independently).
+func (c *Comm) dupMsg(m *message, arrival int64) *message {
+	var d *message
+	if m.data == nil {
+		d = ownedMsg(nil, m.size)
+	} else {
+		d = cloneMsg(m.data[:m.size])
+	}
+	d.src, d.tag, d.ctx = m.src, m.tag, m.ctx
+	d.sentAt, d.arrival = m.sentAt, arrival
+	return d
 }
 
 // Recv blocks until a message matching (src, tag) on this communicator
@@ -88,7 +117,8 @@ func (c *Comm) send(dst, tag int, m *message, class pml.Class) error {
 func (c *Comm) Recv(src, tag int, buf []byte) (Status, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	return c.recv(src, tag, buf)
+	st, err := c.recv(src, tag, buf)
+	return st, c.herr(err)
 }
 
 func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
@@ -98,11 +128,23 @@ func (c *Comm) recv(src, tag int, buf []byte) (Status, error) {
 		}
 	}
 	p := c.p
-	before := p.clock
-	m := p.queue.take(c.ctx, src, tag)
-	if m == nil {
-		return Status{}, ErrAborted
+	if p.world.ftOn.Load() {
+		if err := c.preRecv("recv"); err != nil {
+			return Status{}, err
+		}
 	}
+	before := p.clock
+	m, err := p.queue.take(c, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.recvFinish(m, before, buf)
+}
+
+// recvFinish consumes a matched message: clock update, telemetry, copy-out
+// and recycling. Shared by Recv, RecvTimeout and Test.
+func (c *Comm) recvFinish(m *message, before int64, buf []byte) (Status, error) {
+	p := c.p
 	if m.arrival > p.clock {
 		p.clock = m.arrival
 	}
@@ -127,13 +169,18 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	defer c.p.leaveMPI(t0)
 	if src != AnySource {
 		if err := c.checkRank(src, "source"); err != nil {
-			return Status{}, err
+			return Status{}, c.herr(err)
 		}
 	}
 	p := c.p
-	m := p.queue.peek(c.ctx, src, tag)
-	if m == nil {
-		return Status{}, ErrAborted
+	if p.world.ftOn.Load() {
+		if err := c.preRecv("probe"); err != nil {
+			return Status{}, c.herr(err)
+		}
+	}
+	m, err := p.queue.peek(c, src, tag)
+	if err != nil {
+		return Status{}, c.herr(err)
 	}
 	if m.arrival > p.clock {
 		p.clock = m.arrival
@@ -170,9 +217,10 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, rec
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
 	if err := c.send(dst, sendTag, cloneMsg(sendData), c.p.class()); err != nil {
-		return Status{}, err
+		return Status{}, c.herr(err)
 	}
-	return c.recv(src, recvTag, recvBuf)
+	st, err := c.recv(src, recvTag, recvBuf)
+	return st, c.herr(err)
 }
 
 // SendrecvN is Sendrecv with logical sizes only (skeleton workloads).
@@ -180,9 +228,10 @@ func (c *Comm) SendrecvN(dst, sendTag, sendSize, src, recvTag int) (Status, erro
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
 	if err := c.send(dst, sendTag, ownedMsg(nil, sendSize), c.p.class()); err != nil {
-		return Status{}, err
+		return Status{}, c.herr(err)
 	}
-	return c.recv(src, recvTag, nil)
+	st, err := c.recv(src, recvTag, nil)
+	return st, c.herr(err)
 }
 
 // Request is a handle on a nonblocking operation; complete it with Wait.
@@ -216,7 +265,8 @@ func (r *Request) finish() {
 func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
-	return c.isend(dst, tag, cloneMsg(data))
+	req, err := c.isend(dst, tag, cloneMsg(data))
+	return req, c.herr(err)
 }
 
 // IsendN is Isend with a logical payload size only.
@@ -226,7 +276,8 @@ func (c *Comm) IsendN(dst, tag, size int) (*Request, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("mpi: negative message size %d", size)
 	}
-	return c.isend(dst, tag, ownedMsg(nil, size))
+	req, err := c.isend(dst, tag, ownedMsg(nil, size))
+	return req, c.herr(err)
 }
 
 func (c *Comm) isend(dst, tag int, m *message) (*Request, error) {
@@ -244,11 +295,17 @@ func (c *Comm) isend(dst, tag int, m *message) (*Request, error) {
 	dstProc := w.procs[dstWorld]
 	size := m.size
 
+	if w.ftOn.Load() {
+		if err := c.preSend(dstWorld, "isend"); err != nil {
+			m.release()
+			return nil, err
+		}
+	}
 	class := p.class()
 	p.clock += int64(w.mach.SendOverhead)
 	p.mon.Record(class, dstWorld, size, p.clock)
 	sentAt := p.clock
-	senderFree, arrival := w.net.Transfer(p.core, dstProc.core, size, p.clock)
+	senderFree, arrival, fault := w.net.TransferF(p.core, dstProc.core, size, p.clock)
 	tracked := p.tm != nil
 	if tracked {
 		uc := userCtx(c.ctx)
@@ -258,8 +315,15 @@ func (c *Comm) isend(dst, tag int, m *message) (*Request, error) {
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 		p.tm.inflight.Inc()
 	}
+	if fault.Drop {
+		m.release()
+		return &Request{c: c, isSend: true, freeAt: senderFree, tracked: tracked}, nil
+	}
 	m.src, m.tag, m.ctx = c.rank, tag, c.ctx
 	m.sentAt, m.arrival = sentAt, arrival
+	if fault.Duplicate {
+		dstProc.queue.put(c.dupMsg(m, fault.DupArrival))
+	}
 	dstProc.queue.put(m)
 	return &Request{c: c, isSend: true, freeAt: senderFree, tracked: tracked}, nil
 }
@@ -297,6 +361,7 @@ func (r *Request) Wait() (Status, error) {
 		return Status{}, nil
 	}
 	r.st, r.err = r.c.recv(r.src, r.tag, r.buf)
+	r.err = r.c.herr(r.err)
 	return r.st, r.err
 }
 
@@ -333,6 +398,16 @@ func (r *Request) Test() (Status, bool, error) {
 	before := p.clock
 	m, ok := p.queue.tryTake(r.c.ctx, r.src, r.tag)
 	if !ok {
+		// No pending match: a failed sender or a revoked communicator
+		// means none can ever appear, so complete the request with the
+		// error instead of letting the caller poll forever.
+		if p.world.ftOn.Load() {
+			if err := r.c.waitErr(r.src); err != nil {
+				r.finish()
+				r.err = r.c.herr(err)
+				return Status{}, true, r.err
+			}
+		}
 		return Status{}, false, nil
 	}
 	r.finish()

@@ -3,6 +3,7 @@ package mpi
 import (
 	"strconv"
 
+	"mpimon/internal/faults"
 	"mpimon/internal/pml"
 	"mpimon/internal/telemetry"
 )
@@ -80,6 +81,39 @@ func (w *World) wireTelemetry() {
 			telemetry.L("node", strconv.Itoa(i)))
 	}
 	w.net.SetWaitObserver(func(node int, waitNs int64) { nicWait[node].Observe(waitNs) })
+	w.wireFaultTelemetry(reg)
+}
+
+// ftMetrics holds the fault-tolerance counters (cold paths only, so they
+// are resolved once here rather than per rank).
+type ftMetrics struct {
+	procFailures *telemetry.Counter
+	revokes      *telemetry.Counter
+	shrinks      *telemetry.Counter
+}
+
+// wireFaultTelemetry registers the recovery counters and, when a fault
+// injector is installed, mirrors its events into per-kind counters.
+func (w *World) wireFaultTelemetry(reg *telemetry.Registry) {
+	w.ftm = &ftMetrics{
+		procFailures: reg.Counter("mpimon_proc_failures_total"),
+		revokes:      reg.Counter("mpimon_comm_revocations_total"),
+		shrinks:      reg.Counter("mpimon_comm_shrinks_total"),
+	}
+	if w.inj == nil {
+		return
+	}
+	kinds := [...]*telemetry.Counter{
+		faults.EventLatency:   reg.Counter("mpimon_fault_injections_total", telemetry.L("kind", "latency")),
+		faults.EventBandwidth: reg.Counter("mpimon_fault_injections_total", telemetry.L("kind", "bandwidth")),
+		faults.EventDrop:      reg.Counter("mpimon_fault_injections_total", telemetry.L("kind", "drop")),
+		faults.EventDuplicate: reg.Counter("mpimon_fault_injections_total", telemetry.L("kind", "duplicate")),
+	}
+	w.inj.SetObserver(func(e faults.Event) {
+		if int(e.Kind) < len(kinds) && kinds[e.Kind] != nil {
+			kinds[e.Kind].Inc()
+		}
+	})
 }
 
 // Telemetry returns the process's span tracer, or nil when the world has

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// stubInjector applies one fixed fault to every transfer.
+type stubInjector struct {
+	f  Fault
+	ok bool
+}
+
+func (s stubInjector) TransferFault(src, dst, size int, now int64) (Fault, bool) {
+	return s.f, s.ok
+}
+
+func TestTransferFNoInjector(t *testing.T) {
+	net, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, arrival, fault := net.TransferF(0, 2, 1000, 0)
+	if fault != (Fault{}) {
+		t.Fatalf("fault = %+v, want zero value", fault)
+	}
+	// Fresh network: the machine has contention on, so a second transfer on
+	// the same network would queue behind the first.
+	net2, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, a2 := net2.Transfer(0, 2, 1000, 0)
+	if free != f2 || arrival != a2 {
+		t.Fatalf("TransferF (%d,%d) disagrees with Transfer (%d,%d)", free, arrival, f2, a2)
+	}
+}
+
+func TestTransferFExtraLatency(t *testing.T) {
+	mk := func(fi FaultInjector) int64 {
+		net, err := NewNetwork(testMachine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetFaultInjector(fi)
+		_, arrival, _ := net.TransferF(0, 2, 1000, 0)
+		return arrival
+	}
+	clean := mk(nil)
+	spiked := mk(stubInjector{f: Fault{ExtraLatency: time.Millisecond}, ok: true})
+	if spiked-clean != int64(time.Millisecond) {
+		t.Fatalf("latency spike added %d ns, want 1 ms", spiked-clean)
+	}
+	declined := mk(stubInjector{f: Fault{ExtraLatency: time.Millisecond}, ok: false})
+	if declined != clean {
+		t.Fatalf("declined injector changed arrival: %d vs %d", declined, clean)
+	}
+}
+
+func TestTransferFBandwidthScale(t *testing.T) {
+	net, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaultInjector(stubInjector{f: Fault{BandwidthScale: 0.5}, ok: true})
+	// 100000 B at 1 GB/s halved = 200000 ns of transfer time; cores 0 and 2
+	// are on different nodes (1 us latency). Rendezvous (> eager limit), so
+	// senderFree = end of transfer.
+	free, arrival, _ := net.TransferF(0, 2, 100000, 0)
+	if free != 200000 {
+		t.Fatalf("senderFree = %d, want 200000 (halved bandwidth)", free)
+	}
+	if arrival != 200000+int64(time.Microsecond) {
+		t.Fatalf("arrival = %d, want 201000", arrival)
+	}
+}
+
+func TestTransferFDropStillCharged(t *testing.T) {
+	net, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaultInjector(stubInjector{f: Fault{Drop: true}, ok: true})
+	_, _, fault := net.TransferF(0, 2, 500, 0)
+	if !fault.Drop {
+		t.Fatal("fault.Drop not propagated")
+	}
+	// The bytes left the card: hardware counters still see the transfer.
+	if data, pkts := net.XmitData(0), net.XmitPackets(0); data != 500 || pkts != 1 {
+		t.Fatalf("node counters = (%d,%d), want (500,1)", data, pkts)
+	}
+}
+
+func TestTransferFDuplicateArrival(t *testing.T) {
+	net, err := NewNetwork(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaultInjector(stubInjector{f: Fault{Duplicate: true}, ok: true})
+	// 1000 B at 1 GB/s = 1000 ns; the spurious copy trails by one transfer
+	// time.
+	_, arrival, fault := net.TransferF(0, 2, 1000, 0)
+	if !fault.Duplicate {
+		t.Fatal("fault.Duplicate not propagated")
+	}
+	if fault.DupArrival != arrival+1000 {
+		t.Fatalf("DupArrival = %d, want arrival+1000 = %d", fault.DupArrival, arrival+1000)
+	}
+}

@@ -139,6 +139,40 @@ func IBPair() *Machine {
 	}
 }
 
+// Fault describes what a fault injector did to one transfer. The zero
+// value means the transfer was untouched.
+type Fault struct {
+	// Drop discards the message: the sender is charged as usual (the
+	// bytes left the card) but the receiver never sees it.
+	Drop bool
+	// Duplicate delivers the message twice; DupArrival is the arrival
+	// time of the spurious copy (filled in by the network).
+	Duplicate  bool
+	DupArrival int64
+	// ExtraLatency is added to the arrival time (a latency spike).
+	ExtraLatency time.Duration
+	// BandwidthScale multiplies the effective link bandwidth; 0 or 1
+	// leaves it unchanged, 0.1 means the link runs at a tenth of its
+	// nominal rate (degradation).
+	BandwidthScale float64
+}
+
+// FaultInjector decides, per transfer, whether and how to perturb it. It
+// is consulted from all rank goroutines concurrently and must be safe for
+// that; implementations should be deterministic functions of the transfer
+// parameters so simulation runs stay reproducible.
+type FaultInjector interface {
+	// TransferFault returns the fault to apply to a transfer of size
+	// bytes from core src to core dst injected at virtual time now; ok
+	// is false when the transfer is untouched (the common case, kept
+	// cheap).
+	TransferFault(src, dst, size int, now int64) (f Fault, ok bool)
+}
+
+// SetFaultInjector installs (or removes, with nil) the network's fault
+// injector. Must be called before the simulation runs.
+func (n *Network) SetFaultInjector(fi FaultInjector) { n.faults = fi }
+
 // XmitEvent is one inter-node transmission seen by a node's NIC, stamped
 // with the virtual time at which the last byte left the card.
 type XmitEvent struct {
@@ -168,6 +202,10 @@ type Network struct {
 	// Set it before the simulation starts; it is called concurrently from
 	// the rank goroutines and must be safe for that.
 	waitObs func(node int, waitNs int64)
+
+	// faults, when non-nil, perturbs transfers (see FaultInjector). The
+	// nil check in TransferF is the whole disabled fast path.
+	faults FaultInjector
 }
 
 // nicShards spreads a node's transmit counters over independent cache
@@ -274,10 +312,28 @@ func (n *Network) XmitPackets(node int) int64 {
 // time at which the message arrives at the receiver (before the receiver
 // overhead). Hardware counters are updated for inter-node transfers.
 func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arrival int64) {
+	senderFree, arrival, _ = n.TransferF(src, dst, size, now)
+	return senderFree, arrival
+}
+
+// TransferF is Transfer plus the fault the installed injector applied to
+// this transmission (the zero Fault when none is installed or it declined).
+// A dropped or duplicated message is priced and counted like a normal one —
+// the bytes left the card — and the caller enforces the delivery semantics.
+func (n *Network) TransferF(src, dst int, size int, now int64) (senderFree, arrival int64, fault Fault) {
 	topo := n.mach.Topo
 	level := n.sharedLevel(src, dst)
 	link := n.mach.Links[level]
-	xferNs := int64(float64(size) / link.Bandwidth * 1e9)
+	bw := link.Bandwidth
+	if n.faults != nil {
+		if f, ok := n.faults.TransferFault(src, dst, size, now); ok {
+			fault = f
+			if fault.BandwidthScale > 0 {
+				bw *= fault.BandwidthScale
+			}
+		}
+	}
+	xferNs := int64(float64(size) / bw * 1e9)
 
 	start := now
 	interNode := level < topo.NodeDepth()
@@ -301,13 +357,17 @@ func (n *Network) Transfer(src, dst int, size int, now int64) (senderFree, arriv
 		}
 	}
 	end := start + xferNs
-	arrival = end + int64(link.Latency)
+	arrival = end + int64(link.Latency) + int64(fault.ExtraLatency)
+	if fault.Duplicate {
+		// The spurious copy trails the original by one transfer time.
+		fault.DupArrival = arrival + xferNs
+	}
 	if size <= n.mach.EagerLimit {
 		senderFree = now
 	} else {
 		senderFree = end
 	}
-	return senderFree, arrival
+	return senderFree, arrival, fault
 }
 
 // reserve atomically claims [max(now,busy), max(now,busy)+dur) on the NIC

@@ -31,6 +31,9 @@ func phaseSpan(c *mpi.Comm, name string) func() {
 }
 
 // Options tunes the reordering step.
+//
+// Deprecated: fill it with NewOptions and the Opt constructors below; the
+// struct literal form is kept for compatibility and behaves identically.
 type Options struct {
 	// Flags selects the communication classes of the gathered matrix;
 	// zero means monitoring.AllComm.
@@ -42,10 +45,68 @@ type Options struct {
 	// FixedMappingTime, when positive, is charged instead of the
 	// measured time (deterministic tests and reproducible sweeps).
 	FixedMappingTime time.Duration
+	// MappingTimeout bounds the wall-clock time of one TreeMatch attempt
+	// on rank 0; an attempt that exceeds it fails with mpi.ErrTimeout
+	// (and is retried, then degraded, per the fields below). Zero means
+	// no bound.
+	MappingTimeout time.Duration
+	// MaxRetries is how many times a failed or timed-out mapping attempt
+	// is retried before degrading. Zero means one attempt, no retry.
+	MaxRetries int
+	// RetryBackoff is the virtual-time penalty charged to rank 0 before
+	// retry i, growing exponentially as RetryBackoff << (i-1). Zero
+	// charges nothing.
+	RetryBackoff time.Duration
+	// NoIdentityFallback propagates a mapping failure out of Reorder as
+	// an error. The default (false) degrades gracefully: after the last
+	// attempt fails, the identity permutation is used — the application
+	// keeps running unreordered — and mpimon_reorder_fallback_total is
+	// incremented.
+	NoIdentityFallback bool
 }
 
 // DefaultOptions is what Reorder uses when opts is nil.
+//
+// Deprecated: use NewOptions(), which returns the same defaults.
 var DefaultOptions = Options{Flags: monitoring.AllComm, ChargeMappingTime: true}
+
+// Opt adjusts one Options field; build a set with NewOptions.
+type Opt func(*Options)
+
+// NewOptions returns the default reordering options (all communication
+// classes, real mapping time charged, no timeout, no retries, identity
+// fallback on failure) with the given adjustments applied.
+func NewOptions(opts ...Opt) *Options {
+	o := DefaultOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &o
+}
+
+// WithFlags selects the communication classes of the gathered matrix.
+func WithFlags(f monitoring.Flags) Opt { return func(o *Options) { o.Flags = f } }
+
+// WithMappingTimeout bounds the wall-clock time of one mapping attempt.
+func WithMappingTimeout(d time.Duration) Opt { return func(o *Options) { o.MappingTimeout = d } }
+
+// WithRetries sets how many times a failed mapping attempt is retried.
+func WithRetries(n int) Opt { return func(o *Options) { o.MaxRetries = n } }
+
+// WithBackoff sets the base virtual-time penalty between mapping retries.
+func WithBackoff(d time.Duration) Opt { return func(o *Options) { o.RetryBackoff = d } }
+
+// WithChargeMappingTime toggles charging the measured mapping time to
+// rank 0's virtual clock.
+func WithChargeMappingTime(on bool) Opt { return func(o *Options) { o.ChargeMappingTime = on } }
+
+// WithFixedMappingTime charges a fixed virtual mapping time instead of the
+// measured one (deterministic tests and reproducible sweeps).
+func WithFixedMappingTime(d time.Duration) Opt { return func(o *Options) { o.FixedMappingTime = d } }
+
+// WithoutIdentityFallback makes mapping failure an error of Reorder
+// instead of degrading to the identity permutation.
+func WithoutIdentityFallback() Opt { return func(o *Options) { o.NoIdentityFallback = true } }
 
 // NewRanks computes the paper's k vector from a TreeMatch result: given
 // coreOf (role j should run on core coreOf[j]) and place (old rank r runs
@@ -97,6 +158,81 @@ func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) (
 	return NewRanks(coreOf, place)
 }
 
+// mapFn computes the permutation on rank 0; a package variable so tests
+// can inject failures and hangs without a pathological matrix.
+var mapFn = ComputeMapping
+
+// runMapping is one mapping attempt, bounded by timeout when positive. A
+// timed-out attempt's goroutine is abandoned (TreeMatch has no
+// cancellation); its result is discarded.
+func runMapping(timeout time.Duration, mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	if timeout <= 0 {
+		return mapFn(mat, n, topo, place)
+	}
+	type result struct {
+		k   []int
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		k, err := mapFn(mat, n, topo, place)
+		ch <- result{k, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.k, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("reorder: mapping did not complete within %v: %w", timeout, mpi.ErrTimeout)
+	}
+}
+
+// computeWithRetry runs the mapping on rank 0 under the options' timeout
+// and retry policy. Retries charge exponential virtual-time backoff; when
+// every attempt has failed, it degrades to the identity permutation (the
+// application keeps running unreordered) unless NoIdentityFallback asks
+// for the error instead.
+func computeWithRetry(comm *mpi.Comm, o *Options, mat []uint64, n int) ([]int, error) {
+	p := comm.Proc()
+	topo := comm.World().Machine().Topo
+	place := memberPlacement(comm)
+	var retries, fallback *telemetry.Counter
+	if tel := comm.World().Telemetry(); tel != nil {
+		retries = tel.Registry().Counter("mpimon_reorder_retries_total")
+		fallback = tel.Registry().Counter("mpimon_reorder_fallback_total")
+	}
+	var lastErr error
+	for attempt := 0; attempt <= o.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if retries != nil {
+				retries.Inc()
+			}
+			if o.RetryBackoff > 0 {
+				shift := attempt - 1
+				if shift > 16 {
+					shift = 16
+				}
+				p.Compute(o.RetryBackoff << shift)
+			}
+		}
+		k, err := runMapping(o.MappingTimeout, mat, n, topo, place)
+		if err == nil {
+			return k, nil
+		}
+		lastErr = err
+	}
+	if o.NoIdentityFallback {
+		return nil, lastErr
+	}
+	if fallback != nil {
+		fallback.Inc()
+	}
+	k := make([]int, n)
+	for i := range k {
+		k[i] = i
+	}
+	return k, nil
+}
+
 // memberPlacement returns the core of each member of the communicator.
 func memberPlacement(c *mpi.Comm) []int {
 	world := c.World().Placement()
@@ -133,6 +269,7 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 	}
 
 	var k []int
+	var mapErr error
 	if comm.Rank() == 0 {
 		endTM := phaseSpan(comm, "reorder.treematch")
 		// Surface capped-refinement fallbacks (huge matrices) on the hub:
@@ -150,17 +287,23 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 			restoreHook = func() { treematch.OnRefineDegrade = prev }
 		}
 		start := time.Now()
-		k, err = ComputeMapping(matBytes, n, comm.World().Machine().Topo, memberPlacement(comm))
+		k, err = computeWithRetry(comm, opts, matBytes, n)
 		restoreHook()
 		if err != nil {
-			endTM()
-			return nil, nil, err
-		}
-		switch {
-		case opts.FixedMappingTime > 0:
-			p.Compute(opts.FixedMappingTime)
-		case opts.ChargeMappingTime:
-			p.Compute(time.Since(start))
+			// Returning only at rank 0 would leave every other member
+			// blocked in the broadcast below: ship a sentinel instead, so
+			// the failure surfaces collectively (possible only with
+			// NoIdentityFallback; the default degrades to identity).
+			mapErr = err
+			k = make([]int, n)
+			k[0] = -1
+		} else {
+			switch {
+			case opts.FixedMappingTime > 0:
+				p.Compute(opts.FixedMappingTime)
+			case opts.ChargeMappingTime:
+				p.Compute(time.Since(start))
+			}
 		}
 		endTM()
 	} else {
@@ -180,6 +323,14 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 		return nil, nil, err
 	}
 	k = mpi.DecodeInts(buf)
+	if n > 0 && k[0] == -1 {
+		// Rank 0's mapping failed; every member reports it.
+		endSplit()
+		if mapErr != nil {
+			return nil, nil, mapErr
+		}
+		return nil, nil, fmt.Errorf("reorder: mapping failed on rank 0")
+	}
 
 	// MPI_Comm_split(original_comm, 0, k[myrank], &opt_comm): same color
 	// everywhere, the key is the new rank.

@@ -6,6 +6,7 @@ import (
 
 	"mpimon/internal/cg"
 	"mpimon/internal/elastic"
+	"mpimon/internal/faults"
 	"mpimon/internal/hwcount"
 	"mpimon/internal/matstat"
 	"mpimon/internal/monitoring"
@@ -89,8 +90,29 @@ const (
 type (
 	// CommMatrix is a sparse process-affinity matrix for TreeMatch.
 	CommMatrix = treematch.Matrix
-	// ReorderOptions tunes the dynamic rank reordering.
+	// ReorderOptions tunes the dynamic rank reordering; build it with
+	// NewReorderOptions.
 	ReorderOptions = reorder.Options
+	// ReorderOpt is one functional option of NewReorderOptions.
+	ReorderOpt = reorder.Opt
+)
+
+// Fault-injection types (package faults).
+type (
+	// FaultPlan is a deterministic, seedable schedule of link faults and
+	// node deaths; install it with WithFaultPlan.
+	FaultPlan = faults.Plan
+	// LinkRule degrades transmissions matching a node pair and a virtual
+	// time window.
+	LinkRule = faults.LinkRule
+	// NodeDeath kills a node at a virtual time.
+	NodeDeath = faults.NodeDeath
+	// FaultInjector is a compiled plan; read its Stats after a run.
+	FaultInjector = faults.Injector
+	// FaultStats counts the injections a run performed.
+	FaultStats = faults.Stats
+	// FaultEvent is one injected fault, as seen by an observer.
+	FaultEvent = faults.Event
 )
 
 // CG benchmark types.
@@ -103,6 +125,24 @@ type (
 	CGResult = cg.Result
 	// CGMode selects real numerics or communication skeleton.
 	CGMode = cg.Mode
+	// CGOpt is one functional option of NewCGConfig.
+	CGOpt = cg.Opt
+)
+
+// NewCGConfig builds a CG configuration from a class and functional
+// options (the construction path replacing hand-filled CGConfig structs).
+func NewCGConfig(class CGClass, opts ...CGOpt) CGConfig { return cg.NewConfig(class, opts...) }
+
+// CG options.
+var (
+	// CGWithMode selects real numerics or the communication skeleton.
+	CGWithMode = cg.WithMode
+	// CGWithNiter overrides the outer iteration count.
+	CGWithNiter = cg.WithNiter
+	// CGWithIterations overrides the inner CG iteration count.
+	CGWithIterations = cg.WithCGIterations
+	// CGWithSkipInit skips the matrix generation (skeleton workloads).
+	CGWithSkipInit = cg.WithSkipInit
 )
 
 // Sampling types (package hwcount).
@@ -189,6 +229,7 @@ var (
 	ErrSessionOverflow    = monitoring.ErrSessionOverflow
 	ErrMultipleCall       = monitoring.ErrMultipleCall
 	ErrInvalidRoot        = monitoring.ErrInvalidRoot
+	ErrInvalidFlags       = monitoring.ErrInvalidFlags
 )
 
 // NewWorld creates a simulated MPI job of np ranks on the machine; see
@@ -202,6 +243,36 @@ func WithPlacement(placement []int) Option { return mpi.WithPlacement(placement)
 
 // WithMonitoringLevel sets the initial pml monitoring level.
 func WithMonitoringLevel(l MonitorLevel) Option { return mpi.WithMonitoringLevel(l) }
+
+// WithFaultPlan installs a fault plan on the world: the network consults
+// it on every transmission and node deaths materialize as failed processes
+// recoverable with Comm.Revoke / Comm.Shrink / Comm.Agree.
+func WithFaultPlan(p *FaultPlan) Option { return mpi.WithFaultPlan(p) }
+
+// NewReorderOptions builds reorder options from DefaultOptions and the
+// given functional options (the construction path replacing hand-filled
+// ReorderOptions structs).
+func NewReorderOptions(opts ...ReorderOpt) *ReorderOptions { return reorder.NewOptions(opts...) }
+
+// Reorder options.
+var (
+	// ReorderFlags selects the communication classes fed to TreeMatch.
+	ReorderFlags = reorder.WithFlags
+	// ReorderMappingTimeout bounds one mapping computation.
+	ReorderMappingTimeout = reorder.WithMappingTimeout
+	// ReorderRetries bounds the mapping retry count.
+	ReorderRetries = reorder.WithRetries
+	// ReorderBackoff sets the base of the exponential retry backoff.
+	ReorderBackoff = reorder.WithBackoff
+	// ReorderChargeMappingTime toggles charging the mapping time to the
+	// root's virtual clock.
+	ReorderChargeMappingTime = reorder.WithChargeMappingTime
+	// ReorderFixedMappingTime charges a fixed virtual mapping duration.
+	ReorderFixedMappingTime = reorder.WithFixedMappingTime
+	// ReorderNoIdentityFallback propagates mapping failure instead of
+	// degrading to the identity permutation.
+	ReorderNoIdentityFallback = reorder.WithoutIdentityFallback
+)
 
 // NewTopology builds a balanced hardware tree from per-level arities.
 func NewTopology(arities ...int) (*Topology, error) { return topology.New(arities...) }
@@ -450,6 +521,11 @@ func Reconfigure(mat []uint64, n int, topo *Topology, oldPlace, avail []int, sta
 func SurvivingCores(topo *Topology, deadNodes ...int) []int {
 	return elastic.Shrink(topo, deadNodes...)
 }
+
+// SurvivorCores lists the cores that remain usable after the failures the
+// runtime has observed; call it on the communicator returned by
+// Comm.Shrink to feed Reconfigure the surviving resource set.
+func SurvivorCores(c *Comm) []int { return elastic.SurvivorCores(c) }
 
 // MultiSwitch models a two-tier cluster (switches x nodesPerSwitch
 // dual-socket 12-core nodes); cross-switch links are the slowest level.
