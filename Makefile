@@ -1,5 +1,6 @@
 GO ?= go
 BENCHOUT ?= results/BENCH_hotpath.json
+GATHEROUT ?= results/BENCH_gather.json
 
 .PHONY: build test vet race bench benchsmoke ci
 
@@ -28,7 +29,11 @@ bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkSendRecv' -benchmem ./internal/mpi | tee -a $$tmp && \
 	$(GO) test -run '^$$' -bench '^(BenchmarkTreeMatch|BenchmarkTable1TreeMatchScale|BenchmarkPingPong|BenchmarkCollectives|BenchmarkBarrier48)$$' -benchmem . | tee -a $$tmp && \
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) < $$tmp && \
-	rm -f $$tmp && echo "wrote $(BENCHOUT)"
+	rm -f $$tmp && echo "wrote $(BENCHOUT)" && \
+	tmp2=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench '^BenchmarkGatherSparse$$' -benchtime 1x -benchmem . | tee -a $$tmp2 && \
+	$(GO) run ./cmd/benchjson -out $(GATHEROUT) < $$tmp2 && \
+	rm -f $$tmp2 && echo "wrote $(GATHEROUT)"
 
 # benchsmoke compiles and runs every benchmark exactly once so the harness
 # cannot bit-rot; it measures nothing.

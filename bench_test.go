@@ -156,6 +156,31 @@ func BenchmarkTable1TreeMatchScale(b *testing.B) {
 	}
 }
 
+// BenchmarkGatherSparse measures the sparse monitoring gathers on stencil
+// skeleton worlds of growing size (np = 4096 is the issue's 64x64 grid).
+// Metrics: sparse rootgather wire bytes, root peak receive buffer, and
+// their ratio below the 16n² bytes the dense path moves.
+func BenchmarkGatherSparse(b *testing.B) {
+	for _, np := range []int{256, 1024, 4096} {
+		b.Run("np"+itoa(np), func(b *testing.B) {
+			cfg := exp.DefaultGatherScale
+			cfg.NPs = []int{np}
+			cfg.Iters = 3
+			var row exp.GatherRow
+			for i := 0; i < b.N; i++ {
+				rows, err := exp.GatherScale(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(float64(row.RootWireBytes), "root_wire_B")
+			b.ReportMetric(float64(row.RootPeakBytes), "root_peak_B")
+			b.ReportMetric(row.RootWireRatio, "dense_over_sparse")
+		})
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -1,0 +1,57 @@
+package mpimon
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCAPIRejectsUnknownFlagBits mirrors the Session-level flag validation
+// through the C-style surface: every data entry point must return
+// MPI_M_ERR_INVALID_FLAGS_ONLY for flag words carrying bits outside
+// AllComm, and for an empty selection.
+func TestCAPIRejectsUnknownFlagBits(t *testing.T) {
+	bad := []Flags{AllComm | 1<<5, 1 << 9, 0}
+	runWorld(t, 4, func(c *Comm) error {
+		p := c.Proc()
+		if code := MPIMInit(p); code != Success {
+			return fmt.Errorf("MPIMInit = %d", code)
+		}
+		var id Msid
+		if code := MPIMStart(c, &id); code != Success {
+			return fmt.Errorf("MPIMStart = %d", code)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if code := MPIMSuspend(p, id); code != Success {
+			return fmt.Errorf("MPIMSuspend = %d", code)
+		}
+		for _, f := range bad {
+			if code := MPIMGetData(p, id, nil, nil, f); code != ErrCodeInvalidFlagsOnly {
+				return fmt.Errorf("MPIMGetData(flags=%#x) = %d, want %d", f, code, ErrCodeInvalidFlagsOnly)
+			}
+			if code := MPIMAllgatherData(p, id, nil, nil, f); code != ErrCodeInvalidFlagsOnly {
+				return fmt.Errorf("MPIMAllgatherData(flags=%#x) = %d, want %d", f, code, ErrCodeInvalidFlagsOnly)
+			}
+			if code := MPIMRootgatherData(p, id, 0, nil, nil, f); code != ErrCodeInvalidFlagsOnly {
+				return fmt.Errorf("MPIMRootgatherData(flags=%#x) = %d, want %d", f, code, ErrCodeInvalidFlagsOnly)
+			}
+			if code := MPIMFlush(p, id, "unused", f); code != ErrCodeInvalidFlagsOnly {
+				return fmt.Errorf("MPIMFlush(flags=%#x) = %d, want %d", f, code, ErrCodeInvalidFlagsOnly)
+			}
+		}
+		// A valid word still works after the rejections.
+		counts := make([]uint64, 4)
+		sizes := make([]uint64, 4)
+		if code := MPIMGetData(p, id, counts, sizes, AllComm); code != Success {
+			return fmt.Errorf("MPIMGetData(AllComm) = %d", code)
+		}
+		if code := MPIMFree(p, id); code != Success {
+			return fmt.Errorf("MPIMFree = %d", code)
+		}
+		if code := MPIMFinalize(p); code != Success {
+			return fmt.Errorf("MPIMFinalize = %d", code)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,51 @@
+// Command exp-gather-scale measures the sparse monitoring gathers on
+// growing stencil worlds: the wire bytes and root peak memory of
+// RootgatherSparse/AllgatherSparse against the 16n² bytes the dense path
+// would move, at np = 256, 1024 and 4096 (the 64x64 stencil).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	nps := flag.String("np", "256,1024,4096", "world sizes (perfect squares)")
+	iters := flag.Int("iters", exp.DefaultGatherScale.Iters, "monitored halo-exchange iterations")
+	msg := flag.Int("msg", exp.DefaultGatherScale.MsgBytes, "halo message size in bytes (skeleton)")
+	allUpTo := flag.Int("allgather-up-to", exp.DefaultGatherScale.AllgatherUpTo, "largest np that also runs the sparse allgather")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
+
+	cfg := exp.DefaultGatherScale
+	cfg.Iters, cfg.MsgBytes, cfg.AllgatherUpTo = *iters, *msg, *allUpTo
+	if cfg.NPs, err = exp.ParseInts(*nps); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
+	rows, err := exp.GatherScale(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
+	exp.PrintGatherScale(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
+}

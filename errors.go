@@ -75,7 +75,8 @@ const (
 	ErrClassMultipleCall
 	// ErrClassInvalidRoot: out-of-range root rank.
 	ErrClassInvalidRoot
-	// ErrClassInvalidFlags: flags selecting no communication class.
+	// ErrClassInvalidFlags: flags with unknown bits or selecting no
+	// communication class.
 	ErrClassInvalidFlags
 	// ErrClassUnknown classifies every other non-nil error.
 	ErrClassUnknown

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mpimon/internal/mpi"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/topology"
 	"mpimon/internal/treematch"
 )
@@ -70,6 +71,31 @@ func Reconfigure(mat []uint64, n int, topo *topology.Topology, oldPlace []int, a
 		}
 	}
 	padded.Finish()
+	return planOn(padded, n, topo, oldPlace, avail, stateBytes)
+}
+
+// ReconfigureSparse is Reconfigure over the sparse matrix gathered by
+// RootgatherSparse: same plan (the padded affinity matrix is bit-identical
+// to the dense path's), but O(nnz) time and memory — the n² matrix is
+// never materialized.
+func ReconfigureSparse(sm *sparsemat.Matrix, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
+	n := sm.N
+	if len(oldPlace) != n {
+		return Plan{}, fmt.Errorf("elastic: old placement has %d entries for %d ranks", len(oldPlace), n)
+	}
+	if len(avail) < n {
+		return Plan{}, fmt.Errorf("elastic: %d available cores for %d ranks", len(avail), n)
+	}
+	padded, err := treematch.FromSparseRowsPadded(sm, len(avail))
+	if err != nil {
+		return Plan{}, err
+	}
+	return planOn(padded, n, topo, oldPlace, avail, stateBytes)
+}
+
+// planOn runs TreeMatch on the (padded) affinity matrix and turns the
+// placement into a disturbance-minimized migration plan.
+func planOn(padded *treematch.Matrix, n int, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
 	tree, err := topo.Restrict(avail)
 	if err != nil {
 		return Plan{}, err

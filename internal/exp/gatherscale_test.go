@@ -1,0 +1,55 @@
+package exp
+
+import "testing"
+
+// TestGatherScaleStencil4096 is the issue's acceptance criterion: for a
+// 64x64 2D stencil session at np = 4096 (skeleton mode), the streamed
+// sparse root gather's wire bytes AND the root's peak transient buffer
+// must sit at least 10x below the dense path's 16n² bytes.
+func TestGatherScaleStencil4096(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-rank world in -short mode")
+	}
+	cfg := DefaultGatherScale
+	cfg.NPs = []int{4096}
+	cfg.Iters = 2
+	cfg.AllgatherUpTo = 0 // the rootgather pins the criterion
+	rows, err := GatherScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.NNZ == 0 || r.RootWireBytes == 0 || r.RootPeakBytes == 0 {
+		t.Fatalf("empty gather: %+v", r)
+	}
+	// 64x64 non-periodic grid: 4·np − 4·64 directed neighbour pairs.
+	if want := 4*4096 - 4*64; r.NNZ != want {
+		t.Fatalf("stencil nnz = %d, want %d", r.NNZ, want)
+	}
+	if 10*r.RootWireBytes > r.DenseBytes {
+		t.Fatalf("rootgather wire bytes %d not 10x below dense %d", r.RootWireBytes, r.DenseBytes)
+	}
+	if 10*uint64(r.RootPeakBytes) > r.DenseBytes {
+		t.Fatalf("root peak buffer %d not 10x below dense %d", r.RootPeakBytes, r.DenseBytes)
+	}
+}
+
+// TestGatherScaleSmall smokes the driver at a size cheap enough for every
+// run, with the sparse allgather included.
+func TestGatherScaleSmall(t *testing.T) {
+	cfg := GatherScaleConfig{NPs: []int{16}, Iters: 2, MsgBytes: 512, AllgatherUpTo: 16}
+	rows, err := GatherScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if want := 4*16 - 4*4; r.NNZ != want {
+		t.Fatalf("4x4 stencil nnz = %d, want %d", r.NNZ, want)
+	}
+	if r.AllWireBytes == 0 {
+		t.Fatal("allgather wire bytes not recorded")
+	}
+	if _, err := GatherScale(GatherScaleConfig{NPs: []int{12}, Iters: 1, MsgBytes: 1}); err == nil {
+		t.Fatal("non-square np accepted")
+	}
+}

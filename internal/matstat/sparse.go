@@ -1,0 +1,149 @@
+package matstat
+
+import (
+	"fmt"
+	"sort"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/topology"
+)
+
+// The *Sparse variants analyze the bytes plane of a sparse matrix as
+// gathered by the monitoring library's AllgatherSparse/RootgatherSparse,
+// in O(nnz) time and memory, returning exactly what their dense
+// counterparts return over the densified bytes matrix.
+
+func checkSparse(sm *sparsemat.Matrix) error {
+	if len(sm.Rows) != sm.N {
+		return fmt.Errorf("matstat: sparse matrix has %d rows for size %d", len(sm.Rows), sm.N)
+	}
+	for _, r := range sm.Rows {
+		if err := r.Validate(sm.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummarizeSparse is Summarize over the bytes plane of the sparse matrix.
+func SummarizeSparse(sm *sparsemat.Matrix) (Summary, error) {
+	n := sm.N
+	if err := checkSparse(sm); err != nil {
+		return Summary{}, err
+	}
+	s := Summary{N: n, MinRankOut: ^uint64(0)}
+	peers := make([]map[int]bool, n)
+	for i := range peers {
+		peers[i] = make(map[int]bool)
+	}
+	for i := 0; i < n; i++ {
+		r := sm.Rows[i]
+		var out uint64
+		for k, d := range r.Dst {
+			v := r.Byt[k]
+			if v == 0 {
+				continue
+			}
+			j := int(d)
+			s.Total += v
+			s.NonzeroPairs++
+			out += v
+			if i == j {
+				s.Diagonal += v
+				continue
+			}
+			peers[i][j] = true
+			peers[j][i] = true
+		}
+		if out > s.MaxRankOut {
+			s.MaxRankOut = out
+		}
+		if out < s.MinRankOut {
+			s.MinRankOut = out
+		}
+	}
+	if n > 0 {
+		deg := 0
+		for i := range peers {
+			deg += len(peers[i])
+		}
+		s.AvgDegree = float64(deg) / float64(n)
+	}
+	if s.MinRankOut == ^uint64(0) {
+		s.MinRankOut = 0
+	}
+	return s, nil
+}
+
+// ComputeLocalitySparse is ComputeLocality over the bytes plane of the
+// sparse matrix.
+func ComputeLocalitySparse(sm *sparsemat.Matrix, topo *topology.Topology, place []int) (Locality, error) {
+	n := sm.N
+	if err := checkSparse(sm); err != nil {
+		return Locality{}, err
+	}
+	if len(place) != n {
+		return Locality{}, fmt.Errorf("matstat: placement has %d entries for %d ranks", len(place), n)
+	}
+	loc := Locality{ByLevel: make([]uint64, topo.Depth()+1)}
+	for i := 0; i < n; i++ {
+		r := sm.Rows[i]
+		for k, d := range r.Dst {
+			v := r.Byt[k]
+			if v == 0 {
+				continue
+			}
+			loc.Total += v
+			loc.ByLevel[topo.SharedLevel(place[i], place[int(d)])] += v
+		}
+	}
+	return loc, nil
+}
+
+// TopPairsSparse is TopPairs over the bytes plane of the sparse matrix.
+func TopPairsSparse(sm *sparsemat.Matrix, k int) ([]Pair, error) {
+	if err := checkSparse(sm); err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	for i := 0; i < sm.N; i++ {
+		r := sm.Rows[i]
+		for e, d := range r.Dst {
+			if v := r.Byt[e]; v > 0 && int(d) != i {
+				pairs = append(pairs, Pair{Src: i, Dst: int(d), Bytes: v})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Bytes != pairs[b].Bytes {
+			return pairs[a].Bytes > pairs[b].Bytes
+		}
+		if pairs[a].Src != pairs[b].Src {
+			return pairs[a].Src < pairs[b].Src
+		}
+		return pairs[a].Dst < pairs[b].Dst
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs, nil
+}
+
+// BisectionBytesSparse is BisectionBytes over the bytes plane of the
+// sparse matrix.
+func BisectionBytesSparse(sm *sparsemat.Matrix) (uint64, error) {
+	if err := checkSparse(sm); err != nil {
+		return 0, err
+	}
+	half := sm.N / 2
+	var cross uint64
+	for i := 0; i < sm.N; i++ {
+		r := sm.Rows[i]
+		for k, d := range r.Dst {
+			if (i < half) != (int(d) < half) {
+				cross += r.Byt[k]
+			}
+		}
+	}
+	return cross, nil
+}

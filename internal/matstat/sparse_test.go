@@ -1,0 +1,103 @@
+package matstat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/topology"
+)
+
+func randSparse(t *testing.T, rng *rand.Rand, n int) ([]uint64, *sparsemat.Matrix) {
+	t.Helper()
+	counts := make([]uint64, n*n)
+	bytes := make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(3) != 0 {
+				counts[i*n+j] = uint64(rng.Intn(4) + 1)
+				bytes[i*n+j] = uint64(rng.Intn(1 << 12))
+			}
+		}
+	}
+	sm, err := sparsemat.FromDense(counts, bytes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes, sm
+}
+
+// TestSparseStatsMatchDense pins every *Sparse statistic to its dense
+// counterpart over the same traffic, so the reorder/elastic/report layers
+// can consume the gathered sparse matrix without densifying first.
+func TestSparseStatsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	topo := topology.MustNew(2, 4)
+	place := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for trial := 0; trial < 10; trial++ {
+		n := 8
+		bytes, sm := randSparse(t, rng, n)
+
+		wantS, err := Summarize(bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotS, err := SummarizeSparse(sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantS, gotS) {
+			t.Fatalf("summary diverged:\ndense:  %+v\nsparse: %+v", wantS, gotS)
+		}
+
+		wantL, err := ComputeLocality(bytes, n, topo, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotL, err := ComputeLocalitySparse(sm, topo, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantL, gotL) {
+			t.Fatalf("locality diverged:\ndense:  %+v\nsparse: %+v", wantL, gotL)
+		}
+
+		wantP, err := TopPairs(bytes, n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, err := TopPairsSparse(sm, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantP, gotP) {
+			t.Fatalf("top pairs diverged:\ndense:  %+v\nsparse: %+v", wantP, gotP)
+		}
+
+		wantB, err := BisectionBytes(bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := BisectionBytesSparse(sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantB != gotB {
+			t.Fatalf("bisection bytes: dense %d, sparse %d", wantB, gotB)
+		}
+	}
+}
+
+func TestSparseStatsErrors(t *testing.T) {
+	bad := &sparsemat.Matrix{N: 3, Rows: make([]sparsemat.Row, 2)}
+	if _, err := SummarizeSparse(bad); err == nil {
+		t.Fatal("row-count mismatch accepted by SummarizeSparse")
+	}
+	if _, err := TopPairsSparse(bad, 3); err == nil {
+		t.Fatal("row-count mismatch accepted by TopPairsSparse")
+	}
+	if _, err := BisectionBytesSparse(bad); err == nil {
+		t.Fatal("row-count mismatch accepted by BisectionBytesSparse")
+	}
+}

@@ -30,9 +30,9 @@ var (
 	// ErrInvalidRoot reports an out-of-range root rank —
 	// MPI_M_INVALID_ROOT.
 	ErrInvalidRoot = errors.New("monitoring: invalid root rank")
-	// ErrInvalidFlags reports a flags argument selecting no
-	// communication class.
-	ErrInvalidFlags = errors.New("monitoring: flags select no communication class")
+	// ErrInvalidFlags reports a flags argument carrying bits outside
+	// AllComm, or selecting no communication class at all.
+	ErrInvalidFlags = errors.New("monitoring: invalid flags")
 )
 
 // Numeric error codes for the C-style API; Success is 0 as MPI_SUCCESS.

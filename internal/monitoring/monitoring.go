@@ -19,6 +19,7 @@ package monitoring
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -110,9 +111,15 @@ type Env struct {
 
 	// tr and active are nil unless the world has telemetry: lifecycle
 	// events land on the rank's timeline, and the gauge tracks how many
-	// sessions are live on this process.
-	tr     *telemetry.Rank
-	active *telemetry.Gauge
+	// sessions are live on this process. wireBytes/wireNNZ count the
+	// sparse gather payload (per gather kind) and rootPeak records the
+	// largest transient buffer a streamed root gather needed, so the
+	// sparse data path's win over dense O(n²) is observable.
+	tr        *telemetry.Rank
+	active    *telemetry.Gauge
+	wireBytes map[string]*telemetry.Counter
+	wireNNZ   *telemetry.Counter
+	rootPeak  *telemetry.Gauge
 
 	mu        sync.Mutex
 	sessions  map[Msid]*Session
@@ -147,9 +154,39 @@ func Init(p *mpi.Proc) (*Env, error) {
 		e.tr = p.Telemetry()
 		e.active = tel.Registry().Gauge("mpimon_active_sessions",
 			telemetry.L("rank", strconv.Itoa(p.Rank())))
+		e.wireBytes = map[string]*telemetry.Counter{
+			"allgather":  tel.Registry().Counter("mpimon_gather_wire_bytes_total", telemetry.L("op", "allgather")),
+			"rootgather": tel.Registry().Counter("mpimon_gather_wire_bytes_total", telemetry.L("op", "rootgather")),
+		}
+		e.wireNNZ = tel.Registry().Counter("mpimon_gather_nnz_total")
+		e.rootPeak = tel.Registry().Gauge("mpimon_rootgather_peak_buffer_bytes")
 		e.tr.Event("monitoring.init", int64(p.Clock()))
 	}
 	return e, nil
+}
+
+// observeGather records the assembled wire footprint of one gather on the
+// telemetry registry (no-op without telemetry): op is "allgather" or
+// "rootgather", wire the encoded payload bytes and nnz the nonzero entries.
+func (e *Env) observeGather(op string, wire, nnz int) {
+	if e.wireBytes == nil {
+		return
+	}
+	if ctr, ok := e.wireBytes[op]; ok {
+		ctr.Add(uint64(wire))
+	}
+	e.wireNNZ.Add(uint64(nnz))
+}
+
+// observeRootPeak raises the root-gather peak-buffer gauge (root calls it;
+// the gauge is a high-water mark across the run's gathers).
+func (e *Env) observeRootPeak(bytes int) {
+	if e.rootPeak == nil {
+		return
+	}
+	if e.rootPeak.Value() < int64(bytes) {
+		e.rootPeak.Set(int64(bytes))
+	}
 }
 
 // Proc returns the process this environment monitors.
@@ -193,20 +230,35 @@ func (e *Env) checkLive() error {
 	return nil
 }
 
-// readPvars snapshots the six monitoring pvars into world-indexed vectors.
-func (e *Env) readPvars() (counts, bytes [pml.NumClasses][]uint64, err error) {
-	n := e.p.World().Size()
+// pvarSample is one sparse snapshot of the six monitoring pvars: for each
+// class, the world ranks with any recorded traffic and their count/byte
+// values. Reading one costs O(peers touched), not O(world size).
+type pvarSample struct {
+	peers  [pml.NumClasses][]int
+	counts [pml.NumClasses][]uint64
+	bytes  [pml.NumClasses][]uint64
+}
+
+// readPvarsSparse samples the monitoring pvars through the MPI_T delta
+// read path (Handle.Touched + Handle.ReadAt).
+func (e *Env) readPvarsSparse() (pvarSample, error) {
+	var s pvarSample
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
-		counts[cl] = make([]uint64, n)
-		bytes[cl] = make([]uint64, n)
-		if err = e.hCounts[cl].Read(counts[cl]); err != nil {
-			return counts, bytes, fmt.Errorf("%w: %w", ErrMPITFail, err)
+		peers, err := e.hCounts[cl].Touched()
+		if err != nil {
+			return s, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
-		if err = e.hBytes[cl].Read(bytes[cl]); err != nil {
-			return counts, bytes, fmt.Errorf("%w: %w", ErrMPITFail, err)
+		s.peers[cl] = peers
+		s.counts[cl] = make([]uint64, len(peers))
+		s.bytes[cl] = make([]uint64, len(peers))
+		if err := e.hCounts[cl].ReadAt(peers, s.counts[cl]); err != nil {
+			return s, fmt.Errorf("%w: %w", ErrMPITFail, err)
+		}
+		if err := e.hBytes[cl].ReadAt(peers, s.bytes[cl]); err != nil {
+			return s, fmt.Errorf("%w: %w", ErrMPITFail, err)
 		}
 	}
-	return counts, bytes, nil
+	return s, nil
 }
 
 // Start creates a monitoring session attached to comm and puts it in the
@@ -222,11 +274,10 @@ func (e *Env) Start(comm *mpi.Comm) (*Session, error) {
 	if len(e.sessions) >= MaxSessions {
 		return nil, ErrSessionOverflow
 	}
-	counts, bytes, err := e.readPvars()
+	sample, err := e.readPvarsSparse()
 	if err != nil {
 		return nil, err
 	}
-	n := comm.Size()
 	s := &Session{
 		env:   e,
 		id:    e.nextMsid,
@@ -235,11 +286,13 @@ func (e *Env) Start(comm *mpi.Comm) (*Session, error) {
 		state: Active,
 	}
 	e.nextMsid++
+	s.w2c = make(map[int32]int32, len(s.group))
+	for ci, wr := range s.group {
+		s.w2c[int32(wr)] = int32(ci)
+	}
+	s.takeSnapshot(sample)
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
-		s.snapCounts[cl] = counts[cl]
-		s.snapBytes[cl] = bytes[cl]
-		s.accCounts[cl] = make([]uint64, n)
-		s.accBytes[cl] = make([]uint64, n)
+		s.acc[cl] = make(map[int32]cbPair)
 	}
 	e.sessions[s.id] = s
 	if e.tr != nil {
@@ -264,16 +317,17 @@ func (e *Env) Get(id Msid) (*Session, error) {
 }
 
 // Sessions returns the live sessions, for AllMsid-style iteration; the
-// order follows ascending identifiers.
+// order follows ascending identifiers. The cost is O(live sessions), not
+// O(identifiers ever issued): a long-running process that has churned
+// through thousands of sessions pays only for the ones still alive.
 func (e *Env) Sessions() []*Session {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]*Session, 0, len(e.sessions))
-	for id := Msid(0); id < e.nextMsid; id++ {
-		if s, ok := e.sessions[id]; ok {
-			out = append(out, s)
-		}
+	for _, s := range e.sessions {
+		out = append(out, s)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
@@ -283,23 +337,75 @@ func (e *Env) drop(id Msid) {
 	e.mu.Unlock()
 }
 
+// cbPair is one (message count, byte count) cell of the sparse session
+// state.
+type cbPair struct {
+	cnt uint64
+	byt uint64
+}
+
 // Session is one monitoring session: the per-destination message and byte
 // counts accumulated while the session is Active, over the members of its
 // communicator. Data is indexed by communicator rank.
+//
+// Storage is sparse: instead of six world-sized slices per session, the
+// session keeps one map entry per peer actually touched — snapshots of
+// the pvars at the last Start/Continue and accumulated deltas of the
+// completed active spans. A 2D-stencil session on a 4096-rank world holds
+// a handful of entries, not 6×4096 words.
 type Session struct {
 	env   *Env
 	id    Msid
 	comm  *mpi.Comm
-	group []int // comm rank -> world rank
+	group []int           // comm rank -> world rank
+	w2c   map[int32]int32 // world rank -> comm rank (membership filter)
 
 	mu    sync.Mutex
 	state State
-	// Pvar snapshot (world-indexed) taken at the last Start/Continue.
-	snapCounts [pml.NumClasses][]uint64
-	snapBytes  [pml.NumClasses][]uint64
-	// Accumulated deltas (comm-indexed) of completed active spans.
-	accCounts [pml.NumClasses][]uint64
-	accBytes  [pml.NumClasses][]uint64
+	// Pvar snapshot (keyed by world rank, comm members only) taken at the
+	// last Start/Continue; peers absent from the map had no traffic yet.
+	snap [pml.NumClasses]map[int32]cbPair
+	// Accumulated deltas (keyed by comm rank) of completed active spans.
+	acc [pml.NumClasses]map[int32]cbPair
+}
+
+// takeSnapshot replaces the session's pvar snapshot with the sample,
+// keeping only peers that are members of the session's communicator.
+// Callers hold s.mu (or the session is not yet published).
+func (s *Session) takeSnapshot(sample pvarSample) {
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		m := make(map[int32]cbPair, len(sample.peers[cl]))
+		for i, wr := range sample.peers[cl] {
+			if _, member := s.w2c[int32(wr)]; !member {
+				continue
+			}
+			m[int32(wr)] = cbPair{cnt: sample.counts[cl][i], byt: sample.bytes[cl][i]}
+		}
+		s.snap[cl] = m
+	}
+}
+
+// accumulate folds the delta between the sample and the snapshot into the
+// accumulated per-peer state. Callers hold s.mu.
+func (s *Session) accumulate(sample pvarSample) {
+	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
+		for i, wr := range sample.peers[cl] {
+			ci, member := s.w2c[int32(wr)]
+			if !member {
+				continue
+			}
+			base := s.snap[cl][int32(wr)] // zero value when untouched at snapshot time
+			dc := sample.counts[cl][i] - base.cnt
+			db := sample.bytes[cl][i] - base.byt
+			if dc == 0 && db == 0 {
+				continue
+			}
+			p := s.acc[cl][ci]
+			p.cnt += dc
+			p.byt += db
+			s.acc[cl][ci] = p
+		}
+	}
 }
 
 // ID returns the session identifier (msid).
@@ -333,16 +439,11 @@ func (s *Session) Suspend() error {
 	case Suspended:
 		return ErrMultipleCall
 	}
-	counts, bytes, err := s.env.readPvars()
+	sample, err := s.env.readPvarsSparse()
 	if err != nil {
 		return err
 	}
-	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
-		for i, wr := range s.group {
-			s.accCounts[cl][i] += counts[cl][wr] - s.snapCounts[cl][wr]
-			s.accBytes[cl][i] += bytes[cl][wr] - s.snapBytes[cl][wr]
-		}
-	}
+	s.accumulate(sample)
 	s.state = Suspended
 	if s.env.tr != nil {
 		s.env.tr.Event("session.suspend", int64(s.env.p.Clock()))
@@ -360,14 +461,11 @@ func (s *Session) Continue() error {
 	case Active:
 		return ErrMultipleCall
 	}
-	counts, bytes, err := s.env.readPvars()
+	sample, err := s.env.readPvarsSparse()
 	if err != nil {
 		return err
 	}
-	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
-		s.snapCounts[cl] = counts[cl]
-		s.snapBytes[cl] = bytes[cl]
-	}
+	s.takeSnapshot(sample)
 	s.state = Active
 	if s.env.tr != nil {
 		s.env.tr.Event("session.continue", int64(s.env.p.Clock()))
@@ -386,8 +484,7 @@ func (s *Session) Reset() error {
 		return ErrSessionNotSuspended
 	}
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
-		clear(s.accCounts[cl])
-		clear(s.accBytes[cl])
+		clear(s.acc[cl])
 	}
 	return nil
 }

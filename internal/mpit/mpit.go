@@ -153,3 +153,31 @@ func (h *Handle) Read(out []uint64) error {
 	}
 	return nil
 }
+
+// Touched returns the destination ranks for which the variable has any
+// recorded value — the sparse alternative to allocating a world-sized
+// buffer for Read. The cost scales with the number of touched peers.
+func (h *Handle) Touched() ([]int, error) {
+	if h.s.stopped {
+		return nil, fmt.Errorf("mpit: reading %s through a freed session", h.name)
+	}
+	return h.s.t.mon.Touched(h.spec.class), nil
+}
+
+// ReadAt copies the variable's value at the given destination ranks into
+// out, which must be parallel to peers. Together with Touched it is the
+// delta/sparse read path: a handle read costs O(touched), not O(world).
+func (h *Handle) ReadAt(peers []int, out []uint64) error {
+	if h.s.stopped {
+		return fmt.Errorf("mpit: reading %s through a freed session", h.name)
+	}
+	if len(out) != len(peers) {
+		return fmt.Errorf("mpit: %s needs a buffer of %d elements for %d peers", h.name, len(peers), len(out))
+	}
+	if h.spec.bytes {
+		h.s.t.mon.BytesAt(h.spec.class, peers, out)
+	} else {
+		h.s.t.mon.CountsAt(h.spec.class, peers, out)
+	}
+	return nil
+}

@@ -96,17 +96,45 @@ type Monitor struct {
 	// count low; accessed with atomics.
 	counts []uint64
 	bytes  []uint64
+
+	// Touched-peer tracking, so readers can visit only destinations with
+	// any recorded traffic instead of scanning the whole world. touchBits
+	// is a per-class bitmap of touched destinations; touchList[class] is
+	// an append-only log of first touches (slot values are dst+1, written
+	// atomically after the length is claimed, so a concurrent reader may
+	// transiently see a zero slot and must skip it). touchWords is the
+	// per-class bitmap stride in uint32 words.
+	touchWords int
+	touchBits  []uint32
+	touchList  []int32
+	touchLen   [NumClasses]atomic.Int64
 }
 
 // NewMonitor builds a monitor for a world of n ranks at the given level.
 func NewMonitor(n int, level Level) *Monitor {
+	words := (n + 31) / 32
 	m := &Monitor{
-		n:      n,
-		counts: make([]uint64, int(NumClasses)*n),
-		bytes:  make([]uint64, int(NumClasses)*n),
+		n:          n,
+		counts:     make([]uint64, int(NumClasses)*n),
+		bytes:      make([]uint64, int(NumClasses)*n),
+		touchWords: words,
+		touchBits:  make([]uint32, int(NumClasses)*words),
+		touchList:  make([]int32, int(NumClasses)*n),
 	}
 	m.level.Store(int32(level))
 	return m
+}
+
+// orUint32 atomically ors bit into *p and returns the previous value
+// (a CAS loop; sync/atomic's Or functions need a newer language version
+// than this module targets).
+func orUint32(p *uint32, bit uint32) uint32 {
+	for {
+		old := atomic.LoadUint32(p)
+		if old&bit != 0 || atomic.CompareAndSwapUint32(p, old, old|bit) {
+			return old
+		}
+	}
 }
 
 // Size returns the number of destination ranks tracked.
@@ -195,6 +223,14 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 	i := int(class)*m.n + dst
 	atomic.AddUint64(&m.counts[i], 1)
 	atomic.AddUint64(&m.bytes[i], uint64(size))
+	// First touch of (class, dst): publish it on the touched list. The
+	// common case (already touched) costs one extra atomic load.
+	w := &m.touchBits[int(class)*m.touchWords+dst>>5]
+	bit := uint32(1) << uint(dst&31)
+	if atomic.LoadUint32(w)&bit == 0 && orUint32(w, bit)&bit == 0 {
+		k := m.touchLen[class].Add(1) - 1
+		atomic.StoreInt32(&m.touchList[int(class)*m.n+int(k)], int32(dst)+1)
+	}
 	if rs := m.recorders.Load(); rs != nil {
 		for _, r := range *rs {
 			r(class, dst, size, when)
@@ -223,6 +259,50 @@ func (m *Monitor) copyRow(row []uint64, class Class, out []uint64) {
 	}
 }
 
+// Touched returns the destination ranks with any traffic recorded for the
+// class since the monitor was created (or last Reset), in first-touch
+// order. The result is a fresh slice; its length is the number of peers
+// touched, so callers iterating it pay O(touched), not O(world).
+func (m *Monitor) Touched(class Class) []int {
+	k := int(m.touchLen[class].Load())
+	out := make([]int, 0, k)
+	base := int(class) * m.n
+	for i := 0; i < k; i++ {
+		// A zero slot is a first touch whose value is not yet published;
+		// the concurrent Record it belongs to is unordered with this read
+		// anyway, so skipping it is no worse than having read earlier.
+		if v := atomic.LoadInt32(&m.touchList[base+i]); v != 0 {
+			out = append(out, int(v-1))
+		}
+	}
+	return out
+}
+
+// CountsAt reads the message counters of one class at the given
+// destinations into out (parallel to peers).
+func (m *Monitor) CountsAt(class Class, peers []int, out []uint64) {
+	m.copyAt(m.counts, class, peers, out)
+}
+
+// BytesAt reads the byte counters of one class at the given destinations
+// into out (parallel to peers).
+func (m *Monitor) BytesAt(class Class, peers []int, out []uint64) {
+	m.copyAt(m.bytes, class, peers, out)
+}
+
+func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64) {
+	if len(out) != len(peers) {
+		panic(fmt.Sprintf("pml: output slice has length %d for %d peers", len(out), len(peers)))
+	}
+	base := int(class) * m.n
+	for i, p := range peers {
+		if p < 0 || p >= m.n {
+			panic(fmt.Sprintf("pml: peer %d outside world of %d", p, m.n))
+		}
+		out[i] = atomic.LoadUint64(&row[base+p])
+	}
+}
+
 // TotalBytes returns the total bytes recorded for one class.
 func (m *Monitor) TotalBytes(class Class) uint64 {
 	var s uint64
@@ -233,10 +313,19 @@ func (m *Monitor) TotalBytes(class Class) uint64 {
 	return s
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter and forgets the touched peers.
 func (m *Monitor) Reset() {
 	for i := range m.counts {
 		atomic.StoreUint64(&m.counts[i], 0)
 		atomic.StoreUint64(&m.bytes[i], 0)
+	}
+	for i := range m.touchList {
+		atomic.StoreInt32(&m.touchList[i], 0)
+	}
+	for i := range m.touchBits {
+		atomic.StoreUint32(&m.touchBits[i], 0)
+	}
+	for cl := range m.touchLen {
+		m.touchLen[cl].Store(0)
 	}
 }

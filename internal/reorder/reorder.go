@@ -12,6 +12,7 @@ import (
 
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
 	"mpimon/internal/treematch"
@@ -138,7 +139,8 @@ func NewRanks(coreOf, place []int) ([]int, error) {
 // ComputeMapping is the paper's compute_mapping: from the gathered bytes
 // matrix (row-major n-by-n), the machine topology and the current placement
 // of the n communicator members, it returns the k vector. It runs on rank 0
-// only.
+// only. Reorder itself goes through ComputeMappingSparse; this dense entry
+// point is kept for callers holding an already-dense matrix.
 func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
 	if len(place) != n {
 		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), n)
@@ -147,6 +149,25 @@ func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) (
 	if err != nil {
 		return nil, err
 	}
+	return mapOnPlacement(m, topo, place)
+}
+
+// ComputeMappingSparse is ComputeMapping over the sparse matrix gathered by
+// RootgatherSparse: same k vector (the affinity matrix built from the
+// sparse rows is bit-identical to the dense one), but O(nnz) time and
+// memory — the n² matrix is never materialized.
+func ComputeMappingSparse(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
+	if len(place) != sm.N {
+		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), sm.N)
+	}
+	m, err := treematch.FromSparseRows(sm)
+	if err != nil {
+		return nil, err
+	}
+	return mapOnPlacement(m, topo, place)
+}
+
+func mapOnPlacement(m *treematch.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 	tree, err := topo.Restrict(place)
 	if err != nil {
 		return nil, err
@@ -160,14 +181,14 @@ func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) (
 
 // mapFn computes the permutation on rank 0; a package variable so tests
 // can inject failures and hangs without a pathological matrix.
-var mapFn = ComputeMapping
+var mapFn = ComputeMappingSparse
 
 // runMapping is one mapping attempt, bounded by timeout when positive. A
 // timed-out attempt's goroutine is abandoned (TreeMatch has no
 // cancellation); its result is discarded.
-func runMapping(timeout time.Duration, mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+func runMapping(timeout time.Duration, sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 	if timeout <= 0 {
-		return mapFn(mat, n, topo, place)
+		return mapFn(sm, topo, place)
 	}
 	type result struct {
 		k   []int
@@ -175,7 +196,7 @@ func runMapping(timeout time.Duration, mat []uint64, n int, topo *topology.Topol
 	}
 	ch := make(chan result, 1)
 	go func() {
-		k, err := mapFn(mat, n, topo, place)
+		k, err := mapFn(sm, topo, place)
 		ch <- result{k, err}
 	}()
 	select {
@@ -191,7 +212,7 @@ func runMapping(timeout time.Duration, mat []uint64, n int, topo *topology.Topol
 // every attempt has failed, it degrades to the identity permutation (the
 // application keeps running unreordered) unless NoIdentityFallback asks
 // for the error instead.
-func computeWithRetry(comm *mpi.Comm, o *Options, mat []uint64, n int) ([]int, error) {
+func computeWithRetry(comm *mpi.Comm, o *Options, sm *sparsemat.Matrix) ([]int, error) {
 	p := comm.Proc()
 	topo := comm.World().Machine().Topo
 	place := memberPlacement(comm)
@@ -214,7 +235,7 @@ func computeWithRetry(comm *mpi.Comm, o *Options, mat []uint64, n int) ([]int, e
 				p.Compute(o.RetryBackoff << shift)
 			}
 		}
-		k, err := runMapping(o.MappingTimeout, mat, n, topo, place)
+		k, err := runMapping(o.MappingTimeout, sm, topo, place)
 		if err == nil {
 			return k, nil
 		}
@@ -226,7 +247,7 @@ func computeWithRetry(comm *mpi.Comm, o *Options, mat []uint64, n int) ([]int, e
 	if fallback != nil {
 		fallback.Inc()
 	}
-	k := make([]int, n)
+	k := make([]int, sm.N)
 	for i := range k {
 		k[i] = i
 	}
@@ -261,8 +282,10 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 	n := comm.Size()
 	p := comm.Proc()
 
+	// The matrix travels in the sparse wire format and stays sparse all the
+	// way into TreeMatch: rank 0 never materializes the n² dense matrix.
 	endGather := phaseSpan(comm, "reorder.gather")
-	_, matBytes, err := s.RootgatherData(0, flags)
+	sm, err := s.RootgatherSparse(0, flags)
 	endGather()
 	if err != nil {
 		return nil, nil, err
@@ -287,7 +310,7 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 			restoreHook = func() { treematch.OnRefineDegrade = prev }
 		}
 		start := time.Now()
-		k, err = computeWithRetry(comm, opts, matBytes, n)
+		k, err = computeWithRetry(comm, opts, sm)
 		restoreHook()
 		if err != nil {
 			// Returning only at rank 0 would leave every other member

@@ -9,6 +9,7 @@ import (
 
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
 )
@@ -42,7 +43,7 @@ func TestNewOptionsDefaultsAndOpts(t *testing.T) {
 }
 
 // swapMapFn installs a failing/hanging mapping function for one test.
-func swapMapFn(t *testing.T, fn func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error)) {
+func swapMapFn(t *testing.T, fn func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error)) {
 	t.Helper()
 	prev := mapFn
 	mapFn = fn
@@ -96,7 +97,7 @@ func runReorder(t *testing.T, opts *Options, tel *telemetry.Telemetry) (k []int,
 
 func TestReorderRetryExhaustionFallsBackToIdentity(t *testing.T) {
 	var calls atomic.Int32
-	swapMapFn(t, func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		calls.Add(1)
 		return nil, errors.New("synthetic mapping failure")
 	})
@@ -126,11 +127,11 @@ func TestReorderRetryExhaustionFallsBackToIdentity(t *testing.T) {
 func TestReorderRetrySucceedsEventually(t *testing.T) {
 	var calls atomic.Int32
 	real := mapFn
-	swapMapFn(t, func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		if calls.Add(1) < 3 {
 			return nil, errors.New("transient failure")
 		}
-		return real(mat, n, topo, place)
+		return real(sm, topo, place)
 	})
 	tel := telemetry.New()
 	opts := NewOptions(WithRetries(5), WithFixedMappingTime(time.Microsecond))
@@ -154,7 +155,7 @@ func TestReorderRetrySucceedsEventually(t *testing.T) {
 }
 
 func TestReorderMappingTimeout(t *testing.T) {
-	swapMapFn(t, func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		time.Sleep(10 * time.Second)
 		return nil, errors.New("unreachable")
 	})
@@ -171,7 +172,7 @@ func TestReorderMappingTimeout(t *testing.T) {
 
 func TestReorderNoFallbackPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	swapMapFn(t, func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		return nil, fmt.Errorf("mapping: %w", boom)
 	})
 	opts := NewOptions(WithFixedMappingTime(time.Microsecond), WithoutIdentityFallback())
@@ -182,7 +183,7 @@ func TestReorderNoFallbackPropagatesError(t *testing.T) {
 }
 
 func TestReorderBackoffChargesVirtualTime(t *testing.T) {
-	swapMapFn(t, func(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		return nil, errors.New("always fails")
 	})
 	elapsed := func(backoff time.Duration) time.Duration {

@@ -1,0 +1,57 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/topology"
+)
+
+// TestComputeMappingSparseMatchesDense pins that the sparse entry point —
+// the one Reorder now feeds from RootgatherSparse — computes exactly the
+// same new-rank permutation as the dense entry point on the densified
+// matrix.
+func TestComputeMappingSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	topo := topology.MustNew(2, 2, 2)
+	n := 8
+	place := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for trial := 0; trial < 10; trial++ {
+		counts := make([]uint64, n*n)
+		bytes := make([]uint64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(3) != 0 {
+					counts[i*n+j] = uint64(rng.Intn(9) + 1)
+					bytes[i*n+j] = uint64(rng.Intn(1 << 16))
+				}
+			}
+		}
+		kd, err := ComputeMapping(bytes, n, topo, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := sparsemat.FromDense(counts, bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := ComputeMappingSparse(sm, topo, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range kd {
+			if kd[i] != ks[i] {
+				t.Fatalf("trial %d: k diverged at rank %d: dense %v, sparse %v", trial, i, kd, ks)
+			}
+		}
+	}
+}
+
+func TestComputeMappingSparseErrors(t *testing.T) {
+	topo := topology.MustNew(2, 2)
+	sm := &sparsemat.Matrix{N: 4, Rows: make([]sparsemat.Row, 3)}
+	if _, err := ComputeMappingSparse(sm, topo, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package treematch
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/topology"
+)
+
+// randTraffic builds a random dense counts/bytes pair with assorted holes:
+// absent entries, count-only entries (bytes 0), and heavy asymmetric pairs.
+func randTraffic(rng *rand.Rand, n int) (counts, bytes []uint64) {
+	counts = make([]uint64, n*n)
+	bytes = make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			switch rng.Intn(4) {
+			case 0: // no traffic at all
+			case 1: // count-only (e.g. zero-byte sends)
+				counts[i*n+j] = uint64(rng.Intn(5) + 1)
+			default:
+				counts[i*n+j] = uint64(rng.Intn(20) + 1)
+				bytes[i*n+j] = uint64(rng.Intn(1 << 20))
+			}
+		}
+	}
+	return counts, bytes
+}
+
+func sameDense(t *testing.T, a, b *Matrix) {
+	t.Helper()
+	da, db := a.Dense(), b.Dense()
+	if len(da) != len(db) {
+		t.Fatalf("size mismatch: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		for j := range da[i] {
+			if da[i][j] != db[i][j] {
+				t.Fatalf("affinity (%d,%d): dense %v, sparse %v", i, j, da[i][j], db[i][j])
+			}
+		}
+	}
+}
+
+// TestFromSparseRowsBitIdentical pins the acceptance criterion that the
+// sparse construction path produces bit-identical affinities — and hence
+// identical TreeMatch placements — to FromBytesMatrix on the densified
+// matrix, including matrices with zero-byte nonzero-count entries.
+func TestFromSparseRowsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	topo, err := topology.New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 8
+		counts, bytes := randTraffic(rng, n)
+		dense, err := FromBytesMatrix(bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := sparsemat.FromDense(counts, bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := FromSparseRows(sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDense(t, dense, sparse)
+
+		pd, err := MapTree(dense, topo.FullTree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := MapTree(sparse, topo.FullTree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pd {
+			if pd[i] != ps[i] {
+				t.Fatalf("trial %d: placement diverged at %d: %v vs %v", trial, i, pd, ps)
+			}
+		}
+	}
+}
+
+func TestFromSparseRowsPadded(t *testing.T) {
+	bytes := []uint64{0, 100, 100, 0}
+	dense4 := make([]uint64, 16)
+	dense4[0*4+1], dense4[1*4+0] = 100, 100
+	want, err := FromBytesMatrix(dense4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sparsemat.FromDense([]uint64{0, 1, 1, 0}, bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSparseRowsPadded(sm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDense(t, want, got)
+	if _, err := FromSparseRowsPadded(sm, 1); err == nil {
+		t.Fatal("padding below matrix size accepted")
+	}
+}
+
+func TestFromSparseRowsRejectsCorrupt(t *testing.T) {
+	sm := &sparsemat.Matrix{N: 2, Rows: []sparsemat.Row{{Dst: []int32{5}, Cnt: []uint64{1}, Byt: []uint64{1}}, {}}}
+	if _, err := FromSparseRows(sm); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if _, err := FromSparseRows(&sparsemat.Matrix{N: 3, Rows: make([]sparsemat.Row, 2)}); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+}

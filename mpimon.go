@@ -15,6 +15,7 @@ import (
 	"mpimon/internal/pml"
 	"mpimon/internal/predict"
 	"mpimon/internal/reorder"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/stencil"
 	"mpimon/internal/telemetry"
 	"mpimon/internal/topology"
@@ -313,6 +314,54 @@ func Redistribute(comm *Comm, k []int, data []byte) ([]byte, error) {
 // placement to the permutation k (runs on the root rank).
 func ComputeMapping(mat []uint64, n int, topo *Topology, place []int) ([]int, error) {
 	return reorder.ComputeMapping(mat, n, topo, place)
+}
+
+// Sparse communication-matrix types (package sparsemat): the O(nnz)
+// representation the monitoring gathers ship and large-world consumers
+// (TreeMatch, matrix analysis, elastic reconfiguration) operate on.
+type (
+	// SparseMatrix is a gathered sparse communication matrix (one row of
+	// (dst, count, bytes) triples per source rank).
+	SparseMatrix = sparsemat.Matrix
+	// SparseRow is one source rank's nonzero per-destination data.
+	SparseRow = sparsemat.Row
+)
+
+// ComputeMappingSparse is ComputeMapping over a sparse matrix gathered by
+// Session.RootgatherSparse: same permutation, O(nnz) memory.
+func ComputeMappingSparse(sm *SparseMatrix, topo *Topology, place []int) ([]int, error) {
+	return reorder.ComputeMappingSparse(sm, topo, place)
+}
+
+// ReconfigureSparse is Reconfigure over a sparse matrix: same plan, O(nnz)
+// memory.
+func ReconfigureSparse(sm *SparseMatrix, topo *Topology, oldPlace, avail []int, stateBytes int64) (ReconfigPlan, error) {
+	return elastic.ReconfigureSparse(sm, topo, oldPlace, avail, stateBytes)
+}
+
+// CommMatrixFromSparse builds the TreeMatch affinity matrix from a sparse
+// communication matrix, bit-identical to CommMatrixFromBytes over the
+// densified matrix but without touching n² memory.
+func CommMatrixFromSparse(sm *SparseMatrix) (*CommMatrix, error) {
+	return treematch.FromSparseRows(sm)
+}
+
+// SummarizeSparseMatrix computes matrix aggregates from the bytes plane of
+// a sparse matrix in O(nnz).
+func SummarizeSparseMatrix(sm *SparseMatrix) (MatrixSummary, error) {
+	return matstat.SummarizeSparse(sm)
+}
+
+// SparseMatrixLocalityOf classifies a sparse matrix's traffic under a
+// placement in O(nnz).
+func SparseMatrixLocalityOf(sm *SparseMatrix, topo *Topology, place []int) (MatrixLocality, error) {
+	return matstat.ComputeLocalitySparse(sm, topo, place)
+}
+
+// TopSparseMatrixPairs returns the k heaviest directed pairs of a sparse
+// matrix in O(nnz log nnz).
+func TopSparseMatrixPairs(sm *SparseMatrix, k int) ([]MatrixPair, error) {
+	return matstat.TopPairsSparse(sm, k)
 }
 
 // NewCommMatrix creates an empty n-process affinity matrix.
