@@ -1,6 +1,7 @@
 GO ?= go
 BENCHOUT ?= results/BENCH_hotpath.json
 GATHEROUT ?= results/BENCH_gather.json
+SERVEOUT ?= results/BENCH_serve.json
 
 .PHONY: build test vet race bench benchsmoke ci
 
@@ -15,10 +16,11 @@ test:
 
 # race runs the race detector over the concurrent hot paths: the packages
 # the telemetry layer instruments, the pooled message buffers, the sharded
-# NIC counters, the parallel TreeMatch partitioner, and the fault-injection
-# / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree).
+# NIC counters, the parallel TreeMatch partitioner, the fault-injection
+# / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree),
+# and the monitoring daemon's concurrent ingest/read service.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch ./internal/faults ./internal/elastic
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc
 
 # bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
 # allocation rate), the TreeMatch kernels, and the collective layer — and
@@ -33,7 +35,11 @@ bench:
 	tmp2=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench '^BenchmarkGatherSparse$$' -benchtime 1x -benchmem . | tee -a $$tmp2 && \
 	$(GO) run ./cmd/benchjson -out $(GATHEROUT) < $$tmp2 && \
-	rm -f $$tmp2 && echo "wrote $(GATHEROUT)"
+	rm -f $$tmp2 && echo "wrote $(GATHEROUT)" && \
+	tmp3=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench '^(BenchmarkServeIngest|BenchmarkServeView|BenchmarkFrameCodec)$$' -benchmem ./internal/monsvc | tee -a $$tmp3 && \
+	$(GO) run ./cmd/benchjson -out $(SERVEOUT) < $$tmp3 && \
+	rm -f $$tmp3 && echo "wrote $(SERVEOUT)"
 
 # benchsmoke compiles and runs every benchmark exactly once so the harness
 # cannot bit-rot; it measures nothing.

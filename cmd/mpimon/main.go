@@ -13,20 +13,28 @@
 // Observability: -telemetry FILE writes the run's span tree as a Chrome
 // trace-event file (or CSV when FILE ends in .csv), -serve ADDR exposes the
 // run's metrics in Prometheus text format at ADDR/metrics after the
-// workload completes, and -json replaces the human-readable report with a
-// JSON document carrying the matrix and its matstat analysis.
+// workload completes (SIGINT/SIGTERM shut the endpoint down gracefully and
+// exit 0; for a long-lived multi-job daemon see cmd/mpimond), and -json
+// replaces the human-readable report with a JSON document carrying the
+// matrix and its matstat analysis.
 // -cpuprofile FILE and -memprofile FILE write pprof profiles of the run
 // (see docs/PERFORMANCE.md).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"mpimon/internal/cg"
 	"mpimon/internal/exp"
@@ -147,16 +155,51 @@ func run(cfg config) error {
 	}
 	if cfg.serve != "" {
 		fmt.Fprintf(cfg.stdout, "serving Prometheus metrics on %s/metrics\n", cfg.serve)
-		return http.ListenAndServe(cfg.serve, metricsHandler(tel.Registry()))
+		return serveMetrics(cfg.serve, tel.Registry(), cfg.stdout)
 	}
 	return nil
 }
 
+// serveMetrics exposes the registry until SIGINT/SIGTERM, then drains
+// in-flight scrapes with http.Server.Shutdown under a deadline and
+// returns nil — a clean exit 0 instead of the historical ListenAndServe
+// block that only death could end.
+func serveMetrics(addr string, reg *telemetry.Registry, out io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: metricsHandler(reg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shCtx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
 // metricsHandler serves the registry in Prometheus text exposition format
-// at /metrics (and the root, for convenience).
+// at /metrics (and the root, for convenience). Only GET is answered;
+// anything else gets 405 with an Allow header.
 func metricsHandler(reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
-	h := func(w http.ResponseWriter, _ *http.Request) {
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := telemetry.WritePrometheus(w, reg); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mpimon/internal/telemetry"
 )
 
 // cfg builds the test baseline configuration, discarding output.
@@ -265,6 +268,46 @@ func TestPrometheusMatchesMatrix(t *testing.T) {
 	for _, family := range []string{"mpimon_messages_total", "mpimon_bytes_total", "mpimon_message_size_bytes"} {
 		if !strings.Contains(text, "# TYPE "+family) {
 			t.Fatalf("exposition lacks %s:\n%s", family, text[:min(400, len(text))])
+		}
+	}
+}
+
+// TestMetricsHandlerMethodAndContentType pins the scrape endpoint
+// contract: GET answers with the exposition content type, anything else
+// is 405 with an Allow header.
+func TestMetricsHandlerMethodAndContentType(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("mpimon_messages_total").Add(7)
+	srv := httptest.NewServer(metricsHandler(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, srv.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /metrics: %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Fatalf("%s /metrics Allow = %q, want GET", method, allow)
 		}
 	}
 }

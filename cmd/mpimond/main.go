@@ -1,0 +1,113 @@
+// Command mpimond is the live monitoring daemon: a long-lived HTTP
+// service hosting many concurrently monitored jobs. Jobs register
+// through POST /v1/jobs, stream per-rank sparse communication rows as
+// epoch-tagged varint frames, and their matrices are readable online —
+// /matrix, /heatmap, /summary per job, a fleet-level Prometheus /metrics
+// — while the applications still run (see docs/OBSERVABILITY.md).
+//
+// Usage:
+//
+//	mpimond -addr :9464 -retention 4 -idle 15m
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503, the
+// listener drains in-flight requests under a deadline, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpimon/internal/monsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":9464", "listen address")
+	retention := flag.Int("retention", 4, "live epochs kept per job before compaction into the cumulative matrix")
+	idle := flag.Duration("idle", 15*time.Minute, "evict a job after this long without a push (0 disables)")
+	sweep := flag.Duration("sweep", time.Minute, "idle-eviction sweep interval")
+	maxJobs := flag.Int("max-jobs", 1024, "maximum concurrently hosted jobs")
+	maxNP := flag.Int("max-np", 1<<21, "maximum ranks per job")
+	grace := flag.Duration("grace", 5*time.Second, "graceful-shutdown deadline")
+	flag.Parse()
+
+	svc := monsvc.New(monsvc.Config{
+		RetentionEpochs: *retention,
+		IdleTimeout:     *idle,
+		MaxJobs:         *maxJobs,
+		MaxWorldSize:    *maxNP,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpimond:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, l, svc, *sweep, *grace, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpimond:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon on the listener until ctx is cancelled, then
+// shuts down gracefully within the grace deadline. It owns the idle
+// sweeper. Factored out of main so tests can drive it with a cancelable
+// context and a :0 listener.
+func serve(ctx context.Context, l net.Listener, svc *monsvc.Service, sweepEvery, grace time.Duration, out io.Writer) error {
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(out, "mpimond: serving on %s (retention and eviction per -retention/-idle)\n", l.Addr())
+
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		if sweepEvery <= 0 {
+			return
+		}
+		t := time.NewTicker(sweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n := svc.Sweep(); n > 0 {
+					fmt.Fprintf(out, "mpimond: evicted %d idle job(s)\n", n)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; without a shutdown this is fatal.
+		<-sweepDone
+		return err
+	case <-ctx.Done():
+	}
+	svc.SetDraining(true)
+	fmt.Fprintln(out, "mpimond: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	<-sweepDone
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "mpimond: bye")
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mpimon/internal/monsvc"
+	"mpimon/internal/sparsemat"
+)
+
+// TestServeGracefulShutdown drives the daemon loop end to end: bind :0,
+// answer health checks, then cancel the context (the signal path) and
+// require a clean nil return — the exit-0 guarantee.
+func TestServeGracefulShutdown(t *testing.T) {
+	svc := monsvc.New(monsvc.Config{RetentionEpochs: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, svc, 10*time.Millisecond, 2*time.Second, &out) }()
+
+	base := "http://" + l.Addr().String()
+	waitHTTP(t, base+"/healthz")
+
+	// The daemon serves the full API: create a job, push a row, read it.
+	c := monsvc.NewClient(base)
+	if err := c.CreateJob("shutdown-test", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushRow(0, 1, rowOf(2, 3, 42)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Matrix("latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt, byt := m.At(1, 2); cnt != 3 || byt != 42 {
+		t.Fatalf("served (%d,%d), want (3,42)", cnt, byt)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancel")
+	}
+	for _, want := range []string{"mpimond: serving on", "shutting down", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+	// The listener is closed; new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// TestServeSweeperEvictsIdleJobs verifies the daemon's own sweeper loop
+// (not just Service.Sweep) removes idle jobs and logs the eviction.
+func TestServeSweeperEvictsIdleJobs(t *testing.T) {
+	now := time.Now()
+	svc := monsvc.New(monsvc.Config{
+		IdleTimeout: time.Nanosecond,
+		Now:         func() time.Time { return now },
+	})
+	if _, err := svc.CreateJob("idle", 4); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Second)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, svc, time.Millisecond, time.Second, &out) }()
+	base := "http://" + l.Addr().String()
+	waitHTTP(t, base+"/healthz")
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.Jobs()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never evicted the idle job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "evicted 1 idle job") {
+		t.Fatalf("output lacks eviction notice:\n%s", out.String())
+	}
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", url, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// rowOf builds a single-entry sparse row.
+func rowOf(dst int32, cnt, byt uint64) sparsemat.Row {
+	return sparsemat.Row{Dst: []int32{dst}, Cnt: []uint64{cnt}, Byt: []uint64{byt}}
+}

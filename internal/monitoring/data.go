@@ -72,6 +72,12 @@ func (s *Session) SparseData(flags Flags) (sparsemat.Row, error) {
 	case Active:
 		return sparsemat.Row{}, ErrSessionNotSuspended
 	}
+	return s.sparseRowLocked(cls), nil
+}
+
+// sparseRowLocked assembles the accumulated data of the given classes as
+// one destination-sorted sparse row. Callers hold s.mu.
+func (s *Session) sparseRowLocked(cls []pml.Class) sparsemat.Row {
 	merged := make(map[int32]cbPair)
 	for _, cl := range cls {
 		for ci, p := range s.acc[cl] {
@@ -95,7 +101,7 @@ func (s *Session) SparseData(flags Flags) (sparsemat.Row, error) {
 		row.Cnt = append(row.Cnt, p.cnt)
 		row.Byt = append(row.Byt, p.byt)
 	}
-	return row, nil
+	return row
 }
 
 // AllgatherSparse gathers every member's sparse row into a sparse n-by-n

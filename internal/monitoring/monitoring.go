@@ -26,6 +26,7 @@ import (
 	"mpimon/internal/mpi"
 	"mpimon/internal/mpit"
 	"mpimon/internal/pml"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/telemetry"
 )
 
@@ -367,6 +368,29 @@ type Session struct {
 	snap [pml.NumClasses]map[int32]cbPair
 	// Accumulated deltas (keyed by comm rank) of completed active spans.
 	acc [pml.NumClasses]map[int32]cbPair
+	// suspends counts completed Suspends; it is the epoch tag of the
+	// exporter stream (Suspend k exports epoch k-1).
+	suspends uint64
+	exporter RowExporter
+}
+
+// RowExporter streams one rank's monitoring data to an external sink —
+// the live monitoring service of internal/monsvc, a file, a test
+// recorder. The session calls it at the end of each successful Suspend
+// with the epoch (0-based count of Suspends), the caller's rank and the
+// size of the session's communicator, and the session's current AllComm
+// sparse row. With per-epoch deltas wanted, pair each Suspend with
+// Reset before the next Continue; without Reset the exported rows are
+// cumulative since the session started.
+type RowExporter func(epoch uint64, rank, n int, row sparsemat.Row) error
+
+// SetRowExporter installs (or, with nil, removes) the session's row
+// exporter. Safe to call at any point in the lifecycle; it applies to
+// Suspends that happen after the call.
+func (s *Session) SetRowExporter(f RowExporter) {
+	s.mu.Lock()
+	s.exporter = f
+	s.mu.Unlock()
 }
 
 // takeSnapshot replaces the session's pvar snapshot with the sample,
@@ -429,24 +453,45 @@ func (s *Session) stateLocked() State {
 
 // Suspend stops recording and makes the data available. Suspending a
 // session that is not Active yields ErrMultipleCall (or ErrInvalidMsid if
-// freed).
+// freed). With a row exporter installed, the session's AllComm sparse row
+// is streamed out before Suspend returns; an exporter failure leaves the
+// session Suspended (the data is intact and readable) and is reported
+// wrapped under ErrInternalFail.
 func (s *Session) Suspend() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch s.state {
 	case Freed:
+		s.mu.Unlock()
 		return ErrInvalidMsid
 	case Suspended:
+		s.mu.Unlock()
 		return ErrMultipleCall
 	}
 	sample, err := s.env.readPvarsSparse()
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.accumulate(sample)
 	s.state = Suspended
+	epoch := s.suspends
+	s.suspends++
+	exporter := s.exporter
+	var row sparsemat.Row
+	if exporter != nil {
+		row = s.sparseRowLocked(AllComm.classes())
+	}
+	rank, n := s.comm.Rank(), len(s.group)
+	s.mu.Unlock()
 	if s.env.tr != nil {
 		s.env.tr.Event("session.suspend", int64(s.env.p.Clock()))
+	}
+	// The exporter runs outside s.mu so it may call back into the
+	// session (Data, SparseData) or block on I/O without deadlocking.
+	if exporter != nil {
+		if err := exporter(epoch, rank, n, row); err != nil {
+			return fmt.Errorf("%w: row export of epoch %d: %w", ErrInternalFail, epoch, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package monsvc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Heat map rendering limits: an n-by-n world is folded onto at most
+// bins×bins cells so the SVG stays bounded no matter the world size.
+const (
+	defaultHeatmapBins = 96
+	maxHeatmapBins     = 256
+	svgCellPx          = 6
+	svgMarginPx        = 24
+)
+
+// writeHeatmapTSV emits the matrix as greppable, gnuplot-ready TSV in
+// the results/ figure style (fig6_heatmap.tsv and friends): a commented
+// header naming the axes, then one "src dst count bytes" line per
+// nonzero entry, sorted by (src, dst).
+func writeHeatmapTSV(w io.Writer, v *MatrixView) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# mpimon monsvc heatmap job=%s epoch=%s n=%d nnz=%d\n", v.JobID, epochLabel(v), v.N, v.NNZ)
+	fmt.Fprintf(bw, "# src\tdst\tcount\tbytes\n")
+	for _, rr := range v.Rows {
+		for k, d := range rr.Row.Dst {
+			fmt.Fprintf(bw, "%d\t%d\t%d\t%d\n", rr.Rank, d, rr.Row.Cnt[k], rr.Row.Byt[k])
+		}
+	}
+	bw.Flush()
+}
+
+// writeHeatmapSVG draws the byte matrix as an SVG heat map: source rank
+// on the vertical axis (top = rank 0), destination on the horizontal,
+// log-scale shading from white (zero) to dark red (the heaviest bin).
+// Worlds wider than bins ranks are folded: each cell aggregates a
+// ⌈n/bins⌉-wide rank block, so the output stays O(bins²) while the
+// hot structure (diagonals, blocks, halos) survives.
+func writeHeatmapSVG(w io.Writer, v *MatrixView, bins int) {
+	if bins > v.N {
+		bins = v.N
+	}
+	stride := (v.N + bins - 1) / bins
+	bins = (v.N + stride - 1) / stride
+	cells := make(map[[2]int]uint64)
+	var maxVal uint64
+	for _, rr := range v.Rows {
+		bi := int(rr.Rank) / stride
+		for k, d := range rr.Row.Dst {
+			key := [2]int{bi, int(d) / stride}
+			cells[key] += rr.Row.Byt[k]
+			if cells[key] > maxVal {
+				maxVal = cells[key]
+			}
+		}
+	}
+	side := bins*svgCellPx + 2*svgMarginPx
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", side, side, side, side)
+	fmt.Fprintf(bw, `<title>mpimon job %s epoch %s: %d ranks, %d nnz</title>`+"\n", v.JobID, epochLabel(v), v.N, v.NNZ)
+	fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="white" stroke="#888"/>`+"\n",
+		svgMarginPx, svgMarginPx, bins*svgCellPx, bins*svgCellPx)
+	logMax := math.Log1p(float64(maxVal))
+	keys := make([][2]int, 0, len(cells))
+	for key := range cells {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		val := cells[key]
+		if val == 0 {
+			continue
+		}
+		// Log intensity in [0,1]; 0 bytes never lands here.
+		t := 1.0
+		if logMax > 0 {
+			t = math.Log1p(float64(val)) / logMax
+		}
+		// White -> dark red ramp.
+		rC := 255 - int(75*t)
+		gb := 255 - int(225*t)
+		fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+			svgMarginPx+key[1]*svgCellPx, svgMarginPx+key[0]*svgCellPx, svgCellPx, svgCellPx, rC, gb, gb)
+	}
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="10" text-anchor="middle">dst &#8594;</text>`+"\n", side/2, svgMarginPx-8)
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-size="10" text-anchor="middle" transform="rotate(-90 %d %d)">src &#8594;</text>`+"\n",
+		svgMarginPx-8, side/2, svgMarginPx-8, side/2)
+	fmt.Fprintf(bw, "</svg>\n")
+	bw.Flush()
+}

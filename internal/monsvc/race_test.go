@@ -1,0 +1,189 @@
+package monsvc
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIngestAndRead is the race-tier workout: many writer
+// goroutines stream rows into the same and different jobs while readers
+// hammer /matrix and /metrics, then the served cumulative matrices are
+// pinned against the exact expected sums. Run with -race this covers the
+// service's whole locking story.
+func TestConcurrentIngestAndRead(t *testing.T) {
+	const (
+		jobs            = 3
+		np              = 8
+		writersPerJob   = 4
+		epochsPerWriter = 6
+		readers         = 4
+	)
+	svc := New(Config{RetentionEpochs: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	clients := make([]*Client, jobs)
+	for i := range clients {
+		clients[i] = NewClient(srv.URL)
+		clients[i].HTTP = srv.Client()
+		if err := clients[i].CreateJob(fmt.Sprintf("race-%d", i), np); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errc := make(chan error, jobs*writersPerJob+readers)
+
+	// Writers: per job, writersPerJob goroutines push concurrently within
+	// each epoch, with a barrier between epochs — mirroring ranks that
+	// advance epochs together through a collective Suspend (a writer
+	// lagging a full retention window behind would correctly be refused
+	// by the eviction watermark). Jobs run free relative to each other.
+	var writers sync.WaitGroup
+	for ji, c := range clients {
+		writers.Add(1)
+		go func(ji int, c *Client) {
+			defer writers.Done()
+			for e := uint64(0); e < epochsPerWriter; e++ {
+				var epochWG sync.WaitGroup
+				for wr := 0; wr < writersPerJob; wr++ {
+					epochWG.Add(1)
+					go func(wr int) {
+						defer epochWG.Done()
+						rank := wr % np
+						r := row([3]uint64{uint64((rank + 1) % np), 1, uint64(10 * (ji + 1))})
+						if err := c.PushRow(e, rank, r); err != nil {
+							errc <- fmt.Errorf("job %d writer %d epoch %d: %w", ji, wr, e, err)
+						}
+					}(wr)
+				}
+				epochWG.Wait()
+			}
+		}(ji, c)
+	}
+
+	// Readers: loop over /matrix (all selectors) and /metrics while the
+	// writers run. Responses may reflect any intermediate state; the
+	// point is that they never race or crash.
+	stop := make(chan struct{})
+	var rdrs sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		rdrs.Add(1)
+		go func(rd int) {
+			defer rdrs.Done()
+			paths := []string{
+				"/v1/jobs/" + clients[rd%jobs].JobID + "/matrix",
+				"/v1/jobs/" + clients[(rd+1)%jobs].JobID + "/matrix?epoch=cumulative",
+				"/metrics",
+				"/v1/jobs",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + paths[i%len(paths)])
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %w", rd, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// Matrix reads may see 404 before the first push and 410
+				// for compacted epochs; anything else but 200 is a bug.
+				if resp.StatusCode != http.StatusOK &&
+					resp.StatusCode != http.StatusNotFound &&
+					resp.StatusCode != http.StatusGone {
+					errc <- fmt.Errorf("reader %d: %s -> %d", rd, paths[i%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	writers.Wait()
+	close(stop)
+	rdrs.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Pin: each job's cumulative matrix is exactly the sum of its
+	// writers' pushes — every writer sent epochsPerWriter messages of
+	// 10(ji+1) bytes from its rank to rank+1, merged across compacted
+	// and live epochs.
+	wantRows := uint64(jobs * writersPerJob * epochsPerWriter)
+	for ji, c := range clients {
+		m, err := c.Matrix(SelCumulative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRank := map[int]int{}
+		for wr := 0; wr < writersPerJob; wr++ {
+			perRank[wr%np]++
+		}
+		for rank, mult := range perRank {
+			wantCnt := uint64(mult * epochsPerWriter)
+			wantByt := wantCnt * uint64(10*(ji+1))
+			cnt, byt := m.At(rank, (rank+1)%np)
+			if cnt != wantCnt || byt != wantByt {
+				t.Fatalf("job %d rank %d: served (%d,%d), want (%d,%d)",
+					ji, rank, cnt, byt, wantCnt, wantByt)
+			}
+		}
+		if got := m.NNZ(); got != len(perRank) {
+			t.Fatalf("job %d: nnz %d, want %d", ji, got, len(perRank))
+		}
+	}
+	if st := svc.Stats(); st.Rows != wantRows {
+		t.Fatalf("ingested rows %d, want %d", st.Rows, wantRows)
+	}
+}
+
+// TestConcurrentServiceDirect exercises the service layer without HTTP:
+// concurrent Ingest/View/Sweep/Stats on one shared job.
+func TestConcurrentServiceDirect(t *testing.T) {
+	svc := New(Config{RetentionEpochs: 3})
+	info, err := svc.CreateJob("direct", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epochs advance in lockstep (as ranks do through a collective
+	// Suspend); within an epoch the 8 pushes and reads run concurrently.
+	for e := uint64(0); e < 10; e++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				frame := AppendFrame(nil, e, []RankRow{{Rank: int32(g), Row: row([3]uint64{uint64(15 - g), 1, 7})}})
+				if _, err := svc.Ingest(info.ID, info.Token, frame); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := svc.View(info.ID, SelCumulative); err != nil {
+					t.Error(err)
+					return
+				}
+				svc.Stats()
+				svc.Sweep()
+			}(g)
+		}
+		wg.Wait()
+	}
+	v, err := svc.View(info.ID, SelCumulative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.Matrix()
+	for g := 0; g < 8; g++ {
+		if cnt, byt := m.At(g, 15-g); cnt != 10 || byt != 70 {
+			t.Fatalf("rank %d: (%d,%d), want (10,70)", g, cnt, byt)
+		}
+	}
+}

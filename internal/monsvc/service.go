@@ -1,0 +1,612 @@
+package monsvc
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/telemetry"
+)
+
+// Service errors; the HTTP layer maps them to status codes.
+var (
+	ErrNoSuchJob    = errors.New("monsvc: no such job")
+	ErrBadToken     = errors.New("monsvc: bad or missing job token")
+	ErrTooManyJobs  = errors.New("monsvc: job limit reached")
+	ErrWorldSize    = errors.New("monsvc: invalid world size")
+	ErrNoSuchEpoch  = errors.New("monsvc: no such epoch")
+	ErrEpochEvicted = errors.New("monsvc: epoch evicted (older than the retention window)")
+	ErrBadFrame     = errors.New("monsvc: malformed ingest frame")
+	ErrBadSelector  = errors.New("monsvc: bad epoch selector")
+)
+
+// Config are the service knobs.
+type Config struct {
+	// RetentionEpochs is K, the number of most-recent epochs kept in
+	// full per job; older epochs are compacted into the cumulative
+	// matrix. Minimum (and default when zero) is 1.
+	RetentionEpochs int
+	// IdleTimeout evicts a job wholesale when no push arrived for this
+	// long; zero disables idle eviction.
+	IdleTimeout time.Duration
+	// MaxJobs bounds concurrently hosted jobs (default 1024).
+	MaxJobs int
+	// MaxWorldSize bounds a job's rank count (default 1<<21).
+	MaxWorldSize int
+	// Now is the clock, overridable by tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetentionEpochs < 1 {
+		c.RetentionEpochs = 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxWorldSize <= 0 {
+		c.MaxWorldSize = 1 << 21
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Service hosts many concurrent monitored jobs. All methods are safe for
+// concurrent use; jobs are locked individually so tenants do not contend.
+type Service struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	jobsCreated *telemetry.Counter
+	jobsIdle    *telemetry.Counter
+	jobsDeleted *telemetry.Counter
+	jobsLive    *telemetry.Gauge
+	fleetNNZ    *telemetry.Gauge
+	drain       atomic.Bool
+
+	mu   sync.RWMutex
+	jobs map[string]*Job
+}
+
+// New builds a service with the given configuration.
+func New(cfg Config) *Service {
+	reg := telemetry.NewRegistry()
+	reg.SetHelp("monsvc_jobs_created_total", "Jobs ever registered through the submission API.")
+	reg.SetHelp("monsvc_jobs_evicted_total", "Jobs removed, by reason (idle eviction or explicit delete).")
+	reg.SetHelp("monsvc_jobs", "Jobs currently hosted.")
+	reg.SetHelp("monsvc_live_nnz", "Nonzero matrix entries held across all jobs (live epochs + cumulative).")
+	s := &Service{
+		cfg:         cfg.withDefaults(),
+		reg:         reg,
+		jobs:        make(map[string]*Job),
+		jobsCreated: reg.Counter("monsvc_jobs_created_total"),
+		jobsIdle:    reg.Counter("monsvc_jobs_evicted_total", telemetry.L("reason", "idle")),
+		jobsDeleted: reg.Counter("monsvc_jobs_evicted_total", telemetry.L("reason", "deleted")),
+		jobsLive:    reg.Gauge("monsvc_jobs"),
+		fleetNNZ:    reg.Gauge("monsvc_live_nnz"),
+	}
+	return s
+}
+
+// Registry returns the service-level metrics registry (job registries are
+// separate; the /metrics endpoint merges them all).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// SetDraining flips the readiness state; a draining service answers
+// /readyz with 503 so load balancers stop routing new work during a
+// graceful shutdown, while in-flight ingest keeps working.
+func (s *Service) SetDraining(d bool) { s.drain.Store(d) }
+
+// Draining reports whether the service is draining.
+func (s *Service) Draining() bool { return s.drain.Load() }
+
+// ServiceStats aggregates the ingest counters across every hosted job —
+// the programmatic view of what /metrics exposes per job.
+type ServiceStats struct {
+	Jobs        int
+	Rows        uint64
+	Frames      uint64
+	IngestBytes uint64
+	FleetNNZ    int64
+}
+
+// Stats sums the per-job ingest counters over the currently hosted jobs
+// and reports the fleet-wide live nnz gauge.
+func (s *Service) Stats() ServiceStats {
+	s.mu.RLock()
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.RUnlock()
+	st := ServiceStats{Jobs: len(js), FleetNNZ: s.fleetNNZ.Value()}
+	for _, j := range js {
+		st.Rows += j.rowsTotal.Value()
+		st.Frames += j.framesTotal.Value()
+		st.IngestBytes += j.ingestBytes.Value()
+	}
+	return st
+}
+
+// epochState is one live epoch of a job: the accumulated rows, keyed by
+// source rank — O(nnz) storage, no world-sized slices.
+type epochState struct {
+	rows map[int32]sparsemat.Row
+	nnz  int
+}
+
+// Job is one hosted monitored world.
+type Job struct {
+	id    string
+	name  string
+	token string
+	n     int
+	reg   *telemetry.Registry
+
+	rowsTotal    *telemetry.Counter
+	framesTotal  *telemetry.Counter
+	ingestBytes  *telemetry.Counter
+	compactTotal *telemetry.Counter
+	liveNNZ      *telemetry.Gauge
+	liveEpochs   *telemetry.Gauge
+
+	mu       sync.Mutex
+	created  time.Time
+	lastSeen time.Time
+	epochs   map[uint64]*epochState
+	// cum holds the rows of every compacted (evicted) epoch, merged; a
+	// job's cumulative matrix is cum plus the live epochs.
+	cum        map[int32]sparsemat.Row
+	cumNNZ     int
+	compacted  uint64 // epochs folded into cum
+	maxEpoch   uint64
+	anyEpoch   bool   // at least one epoch ever ingested
+	evictedAny bool   // at least one epoch ever compacted
+	evictedMax uint64 // newest compacted epoch: the retention watermark
+}
+
+// JobInfo is the public description of a job. Token is set only in the
+// CreateJob response.
+type JobInfo struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Token      string    `json:"token,omitempty"`
+	N          int       `json:"np"`
+	Created    time.Time `json:"created"`
+	LastSeen   time.Time `json:"last_seen"`
+	LiveEpochs []uint64  `json:"live_epochs"`
+	Compacted  uint64    `json:"compacted_epochs"`
+	NNZ        int       `json:"nnz"`
+	Retention  int       `json:"retention_epochs"`
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("monsvc: reading randomness: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
+
+// CreateJob registers a new job of n ranks and returns its id and bearer
+// token.
+func (s *Service) CreateJob(name string, n int) (JobInfo, error) {
+	if n <= 0 || n > s.cfg.MaxWorldSize {
+		return JobInfo{}, fmt.Errorf("%w: np %d (max %d)", ErrWorldSize, n, s.cfg.MaxWorldSize)
+	}
+	reg := telemetry.NewRegistry()
+	reg.SetHelp("monsvc_job_rows_total", "Rank rows ingested for the job.")
+	reg.SetHelp("monsvc_job_frames_total", "Ingest frames received for the job.")
+	reg.SetHelp("monsvc_job_ingest_bytes_total", "Wire bytes of the job's ingest frames.")
+	reg.SetHelp("monsvc_job_epochs_compacted_total", "Epochs folded into the job's cumulative matrix.")
+	reg.SetHelp("monsvc_job_live_nnz", "Nonzero entries the job holds (live epochs + cumulative).")
+	reg.SetHelp("monsvc_job_live_epochs", "Epochs inside the job's retention window.")
+	now := s.cfg.Now()
+	j := &Job{
+		id:           "j" + randHex(6),
+		name:         name,
+		token:        randHex(16),
+		n:            n,
+		reg:          reg,
+		rowsTotal:    reg.Counter("monsvc_job_rows_total"),
+		framesTotal:  reg.Counter("monsvc_job_frames_total"),
+		ingestBytes:  reg.Counter("monsvc_job_ingest_bytes_total"),
+		compactTotal: reg.Counter("monsvc_job_epochs_compacted_total"),
+		liveNNZ:      reg.Gauge("monsvc_job_live_nnz"),
+		liveEpochs:   reg.Gauge("monsvc_job_live_epochs"),
+		created:      now,
+		lastSeen:     now,
+		epochs:       make(map[uint64]*epochState),
+		cum:          make(map[int32]sparsemat.Row),
+	}
+	s.mu.Lock()
+	if len(s.jobs) >= s.cfg.MaxJobs {
+		s.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("%w: %d jobs", ErrTooManyJobs, s.cfg.MaxJobs)
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.jobsCreated.Inc()
+	s.jobsLive.Inc()
+	info := j.infoLocked(true)
+	return info, nil
+}
+
+// job resolves an id.
+func (s *Service) job(id string) (*Job, error) {
+	s.mu.RLock()
+	j, ok := s.jobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchJob, id)
+	}
+	return j, nil
+}
+
+// auth validates the bearer token in constant time.
+func (j *Job) auth(token string) error {
+	if subtle.ConstantTimeCompare([]byte(token), []byte(j.token)) != 1 {
+		return ErrBadToken
+	}
+	return nil
+}
+
+// infoLocked builds a JobInfo; callers must NOT hold j.mu (it locks).
+func (j *Job) infoLocked(withToken bool) JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live := make([]uint64, 0, len(j.epochs))
+	nnz := j.cumNNZ
+	for e, st := range j.epochs {
+		live = append(live, e)
+		nnz += st.nnz
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a] < live[b] })
+	info := JobInfo{
+		ID:         j.id,
+		Name:       j.name,
+		N:          j.n,
+		Created:    j.created,
+		LastSeen:   j.lastSeen,
+		LiveEpochs: live,
+		Compacted:  j.compacted,
+		NNZ:        nnz,
+	}
+	if withToken {
+		info.Token = j.token
+	}
+	return info
+}
+
+// Jobs lists the hosted jobs, sorted by id (tokens omitted).
+func (s *Service) Jobs() []JobInfo {
+	s.mu.RLock()
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.RUnlock()
+	out := make([]JobInfo, 0, len(js))
+	for _, j := range js {
+		info := j.infoLocked(false)
+		info.Retention = s.cfg.RetentionEpochs
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// IngestResult reports what one frame did.
+type IngestResult struct {
+	Epoch      uint64 `json:"epoch"`
+	Rows       int    `json:"rows"`
+	NNZ        int    `json:"nnz"` // job-wide live nnz after the push
+	LiveEpochs int    `json:"live_epochs"`
+	Compacted  uint64 `json:"compacted_epochs"`
+}
+
+// Ingest authenticates and applies one wire frame to the job: rows are
+// accumulated into the frame's epoch (re-pushing a rank merges, it does
+// not overwrite), then the retention window is enforced — every epoch
+// older than the newest K is folded into the cumulative matrix. The
+// whole operation is O(frame nnz + compacted nnz).
+func (s *Service) Ingest(id, token string, frame []byte) (IngestResult, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if err := j.auth(token); err != nil {
+		return IngestResult{}, err
+	}
+	epoch, rows, err := DecodeFrame(frame, j.n)
+	if err != nil {
+		return IngestResult{}, fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+	now := s.cfg.Now()
+
+	j.mu.Lock()
+	// A frame for an epoch already folded into the cumulative matrix
+	// would double-count if re-opened and vanish if merged silently;
+	// reject it instead (clients must stream epochs roughly in order).
+	if j.evictedAny && epoch <= j.evictedMax {
+		j.mu.Unlock()
+		return IngestResult{}, fmt.Errorf("%w: epoch %d (watermark %d)", ErrEpochEvicted, epoch, j.evictedMax)
+	}
+	st, ok := j.epochs[epoch]
+	if !ok {
+		st = &epochState{rows: make(map[int32]sparsemat.Row)}
+		j.epochs[epoch] = st
+	}
+	var dNNZ int
+	for _, rr := range rows {
+		old := st.rows[rr.Rank]
+		merged := mergeRows(old, rr.Row)
+		dNNZ += merged.NNZ() - old.NNZ()
+		st.rows[rr.Rank] = merged
+	}
+	st.nnz += dNNZ
+	if epoch > j.maxEpoch || !j.anyEpoch {
+		j.maxEpoch = epoch
+	}
+	j.anyEpoch = true
+	j.lastSeen = now
+	dNNZ += j.compactLocked(s.cfg.RetentionEpochs)
+	res := IngestResult{
+		Epoch:      epoch,
+		Rows:       len(rows),
+		NNZ:        j.liveNNZLocked(),
+		LiveEpochs: len(j.epochs),
+		Compacted:  j.compacted,
+	}
+	j.mu.Unlock()
+
+	j.framesTotal.Inc()
+	j.rowsTotal.Add(uint64(len(rows)))
+	j.ingestBytes.Add(uint64(len(frame)))
+	j.liveNNZ.Set(int64(res.NNZ))
+	j.liveEpochs.Set(int64(res.LiveEpochs))
+	s.fleetNNZ.Add(int64(dNNZ))
+	return res, nil
+}
+
+// minLiveLocked returns the smallest live epoch (callers hold j.mu and
+// know at least one epoch exists).
+func (j *Job) minLiveLocked() uint64 {
+	first := true
+	var m uint64
+	for e := range j.epochs {
+		if first || e < m {
+			m = e
+			first = false
+		}
+	}
+	return m
+}
+
+// liveNNZLocked is the job's total held nnz (cum + live epochs).
+func (j *Job) liveNNZLocked() int {
+	nnz := j.cumNNZ
+	for _, st := range j.epochs {
+		nnz += st.nnz
+	}
+	return nnz
+}
+
+// compactLocked folds epochs beyond the newest k into the cumulative
+// matrix and returns the resulting change in held nnz (≤ 0: merging can
+// only cancel entries, never add). Callers hold j.mu.
+func (j *Job) compactLocked(k int) int {
+	delta := 0
+	for len(j.epochs) > k {
+		oldest := j.minLiveLocked()
+		st := j.epochs[oldest]
+		delete(j.epochs, oldest)
+		delta -= st.nnz
+		for rank, row := range st.rows {
+			old := j.cum[rank]
+			merged := mergeRows(old, row)
+			d := merged.NNZ() - old.NNZ()
+			j.cumNNZ += d
+			delta += d
+			j.cum[rank] = merged
+		}
+		j.compacted++
+		j.compactTotal.Inc()
+		if !j.evictedAny || oldest > j.evictedMax {
+			j.evictedMax = oldest
+		}
+		j.evictedAny = true
+	}
+	return delta
+}
+
+// MatrixView is one read-side snapshot of a job's matrix: the rows with
+// any data, sorted by source rank. Rows are copied out under the job
+// lock by value; the slices themselves are shared with the store and
+// must be treated as read-only (the store never mutates a published row
+// in place — merges build new slices).
+type MatrixView struct {
+	JobID    string
+	Name     string
+	N        int
+	Selector string
+	Epoch    uint64 // meaningful for numeric/latest selectors
+	NNZ      int
+	Rows     []RankRow
+}
+
+// Matrix materializes the view as a sparsemat.Matrix (O(n) row headers —
+// for the matstat consumers; the view itself is O(nnz)).
+func (v *MatrixView) Matrix() *sparsemat.Matrix {
+	m := sparsemat.New(v.N)
+	for _, rr := range v.Rows {
+		m.Rows[rr.Rank] = rr.Row
+	}
+	return m
+}
+
+// SelLatest and SelCumulative are the symbolic epoch selectors of View;
+// any other non-empty selector must be a decimal epoch number.
+const (
+	SelLatest     = "latest"
+	SelCumulative = "cumulative"
+)
+
+// View resolves an epoch selector — "latest" (or empty), "cumulative",
+// or a decimal epoch — into a matrix snapshot. Reading needs no token:
+// the read side is the dashboard surface. A numeric epoch older than the
+// retention window yields ErrEpochEvicted, a future one ErrNoSuchEpoch.
+func (s *Service) View(id, selector string) (*MatrixView, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	v := &MatrixView{JobID: j.id, Name: j.name, N: j.n, Selector: selector}
+	if selector == "" {
+		v.Selector = SelLatest
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch v.Selector {
+	case SelLatest:
+		if !j.anyEpoch {
+			return nil, fmt.Errorf("%w: job has no epochs yet", ErrNoSuchEpoch)
+		}
+		v.Epoch = j.maxEpoch
+		st := j.epochs[j.maxEpoch]
+		v.Rows, v.NNZ = snapshotRows(st.rows), st.nnz
+	case SelCumulative:
+		merged := make(map[int32]sparsemat.Row, len(j.cum))
+		for rank, row := range j.cum {
+			merged[rank] = row
+		}
+		epochs := make([]uint64, 0, len(j.epochs))
+		for e := range j.epochs {
+			epochs = append(epochs, e)
+		}
+		sort.Slice(epochs, func(a, b int) bool { return epochs[a] < epochs[b] })
+		for _, e := range epochs {
+			for rank, row := range j.epochs[e].rows {
+				merged[rank] = mergeRows(merged[rank], row)
+			}
+		}
+		v.Rows = snapshotRows(merged)
+		for _, rr := range v.Rows {
+			v.NNZ += rr.Row.NNZ()
+		}
+		v.Epoch = j.maxEpoch
+	default:
+		var epoch uint64
+		if _, err := fmt.Sscanf(v.Selector, "%d", &epoch); err != nil || fmt.Sprint(epoch) != v.Selector {
+			return nil, fmt.Errorf("%w: %q (want %q, %q or a decimal epoch)", ErrBadSelector, selector, SelLatest, SelCumulative)
+		}
+		st, ok := j.epochs[epoch]
+		if !ok {
+			if j.evictedAny && epoch <= j.evictedMax {
+				return nil, fmt.Errorf("%w: epoch %d", ErrEpochEvicted, epoch)
+			}
+			return nil, fmt.Errorf("%w: epoch %d", ErrNoSuchEpoch, epoch)
+		}
+		v.Epoch = epoch
+		v.Rows, v.NNZ = snapshotRows(st.rows), st.nnz
+	}
+	return v, nil
+}
+
+// snapshotRows flattens a rank-keyed row map into a rank-sorted slice.
+func snapshotRows(rows map[int32]sparsemat.Row) []RankRow {
+	out := make([]RankRow, 0, len(rows))
+	for rank, row := range rows {
+		if row.NNZ() == 0 {
+			continue
+		}
+		out = append(out, RankRow{Rank: rank, Row: row})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Rank < out[b].Rank })
+	return out
+}
+
+// Delete removes a job (authenticated).
+func (s *Service) Delete(id, token string) error {
+	j, err := s.job(id)
+	if err != nil {
+		return err
+	}
+	if err := j.auth(token); err != nil {
+		return err
+	}
+	s.remove(j, s.jobsDeleted)
+	return nil
+}
+
+// remove unlinks a job and settles the fleet gauges.
+func (s *Service) remove(j *Job, reason *telemetry.Counter) {
+	s.mu.Lock()
+	_, present := s.jobs[j.id]
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+	if !present {
+		return // lost a race with another remover
+	}
+	j.mu.Lock()
+	nnz := j.liveNNZLocked()
+	j.mu.Unlock()
+	s.fleetNNZ.Add(-int64(nnz))
+	s.jobsLive.Dec()
+	reason.Inc()
+}
+
+// Sweep evicts jobs idle past the configured timeout and returns how
+// many were removed. A zero IdleTimeout makes it a no-op.
+func (s *Service) Sweep() int {
+	if s.cfg.IdleTimeout <= 0 {
+		return 0
+	}
+	cutoff := s.cfg.Now().Add(-s.cfg.IdleTimeout)
+	s.mu.RLock()
+	var idle []*Job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.lastSeen.Before(cutoff) {
+			idle = append(idle, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.RUnlock()
+	for _, j := range idle {
+		s.remove(j, s.jobsIdle)
+	}
+	return len(idle)
+}
+
+// labeledRegistries snapshots every job's registry labeled job="id",
+// name="...", prefixed by the service's own (unlabeled) registry — the
+// input of the merged /metrics exposition.
+func (s *Service) labeledRegistries() []telemetry.LabeledRegistry {
+	s.mu.RLock()
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.RUnlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].id < js[b].id })
+	out := make([]telemetry.LabeledRegistry, 0, len(js)+1)
+	out = append(out, telemetry.LabeledRegistry{Reg: s.reg})
+	for _, j := range js {
+		out = append(out, telemetry.LabeledRegistry{
+			Reg:    j.reg,
+			Labels: []telemetry.Label{telemetry.L("job", j.id), telemetry.L("name", j.name)},
+		})
+	}
+	return out
+}

@@ -112,58 +112,157 @@ func WriteCSV(w io.Writer, spans []Span) error {
 }
 
 // WritePrometheus serializes the registry in the Prometheus text
-// exposition format (version 0.0.4): one # TYPE comment per family,
-// counters/gauges as plain samples, histograms as cumulative _bucket
-// series plus _sum and _count.
+// exposition format (version 0.0.4): one # HELP (when registered) and
+// # TYPE comment per family, counters/gauges as plain samples, histograms
+// as cumulative _bucket series plus _sum and _count. Label values are
+// escaped per the format (backslash, double quote, newline).
 func WritePrometheus(w io.Writer, r *Registry) error {
-	bw := bufio.NewWriter(w)
-	lastFamily := ""
-	for _, m := range r.snapshot() {
-		if m.family != lastFamily {
-			typ := "counter"
-			switch {
-			case m.g != nil:
-				typ = "gauge"
-			case m.h != nil:
-				typ = "histogram"
-			}
-			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", m.family, typ); err != nil {
-				return err
-			}
-			lastFamily = m.family
+	return WritePrometheusMulti(w, LabeledRegistry{Reg: r})
+}
+
+// LabeledRegistry is one registry of a multi-registry exposition, with
+// labels injected into every sample it contributes (the monitoring
+// daemon's per-job registries exported under one job="..." label each).
+type LabeledRegistry struct {
+	Reg    *Registry
+	Labels []Label
+}
+
+// WritePrometheusMulti merges several registries into one exposition
+// document. Families are interleaved so each # HELP/# TYPE header appears
+// exactly once even when the same family exists in many registries (the
+// format forbids repeating them); within a family, samples keep the
+// per-registry deterministic order. Injected labels are merged with each
+// metric's own (per-metric labels win on key collision).
+func WritePrometheusMulti(w io.Writer, regs ...LabeledRegistry) error {
+	type sample struct {
+		m     *metric
+		extra []Label
+	}
+	byFamily := map[string][]sample{}
+	help := map[string]string{}
+	var families []string
+	for _, lr := range regs {
+		if lr.Reg == nil {
+			continue
 		}
-		switch {
-		case m.c != nil:
-			if _, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(m.labels, "", ""), m.c.Value()); err != nil {
+		for _, m := range lr.Reg.snapshot() {
+			if _, ok := byFamily[m.family]; !ok {
+				families = append(families, m.family)
+			}
+			byFamily[m.family] = append(byFamily[m.family], sample{m: m, extra: lr.Labels})
+			if h := lr.Reg.Help(m.family); h != "" && help[m.family] == "" {
+				help[m.family] = h
+			}
+		}
+	}
+	sort.Strings(families)
+	bw := bufio.NewWriter(w)
+	for _, fam := range families {
+		samples := byFamily[fam]
+		if h := help[fam]; h != "" {
+			if _, err := fmt.Fprintf(bw, "# HELP %s %s\n", fam, escapeHelp(h)); err != nil {
 				return err
 			}
-		case m.g != nil:
-			if _, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(m.labels, "", ""), m.g.Value()); err != nil {
-				return err
-			}
-		case m.h != nil:
-			var cum uint64
-			counts := m.h.BucketCounts()
-			bounds := m.h.Bounds()
-			for i, b := range bounds {
-				cum += counts[i]
-				if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(m.labels, "le", fmt.Sprint(b)), cum); err != nil {
-					return err
-				}
-			}
-			cum += counts[len(counts)-1]
-			if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(m.labels, "le", "+Inf"), cum); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, labelString(m.labels, "", ""), m.h.Sum()); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(bw, "%s_count%s %d\n", m.family, labelString(m.labels, "", ""), m.h.Count()); err != nil {
+		}
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", fam, samples[0].m.kind()); err != nil {
+			return err
+		}
+		for _, s := range samples {
+			if err := writeSample(bw, s.m, mergeLabels(s.m.labels, s.extra)); err != nil {
 				return err
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSample emits one instrument's sample lines under the given labels.
+func writeSample(bw *bufio.Writer, m *metric, labels []Label) error {
+	switch {
+	case m.c != nil:
+		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(labels, "", ""), m.c.Value())
+		return err
+	case m.g != nil:
+		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(labels, "", ""), m.g.Value())
+		return err
+	case m.h != nil:
+		var cum uint64
+		counts := m.h.BucketCounts()
+		bounds := m.h.Bounds()
+		for i, b := range bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(labels, "le", fmt.Sprint(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, labelString(labels, "", ""), m.h.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(bw, "%s_count%s %d\n", m.family, labelString(labels, "", ""), m.h.Count())
+		return err
+	}
+	return nil
+}
+
+// mergeLabels unions a metric's own labels with injected ones, sorted by
+// key; the metric's own value wins when both define a key. Returns own
+// unchanged when nothing is injected (the common single-registry path).
+func mergeLabels(own, extra []Label) []Label {
+	if len(extra) == 0 {
+		return own
+	}
+	out := append([]Label(nil), own...)
+	for _, e := range extra {
+		found := false
+		for _, l := range own {
+			if l.Key == e.Key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline become \\, \" and \n. Everything
+// else — including tabs and non-ASCII — passes through verbatim (the
+// format escapes exactly these three).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes # HELP text: only backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 // labelString renders {k="v",...}; extraKey/extraVal append one more pair
@@ -178,13 +277,19 @@ func labelString(labels []Label, extraKey, extraVal string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	if extraKey != "" {
 		if len(labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping pins the exposition-format escaping: label
+// values escape exactly backslash, double quote and newline; everything
+// else passes through verbatim.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", L("path", `C:\tmp`), L("msg", "a\"b\nc"), L("utf", "héllo	tab")).Add(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `esc_total{msg="a\"b\nc",path="C:\\tmp",utf="héllo	tab"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped sample missing:\nwant %s\ngot  %s", want, out)
+	}
+	if strings.Contains(out, "\\\\\\\\") {
+		t.Fatalf("label value double-escaped:\n%s", out)
+	}
+}
+
+// TestPrometheusHelp verifies # HELP precedes # TYPE and its text is
+// escaped (backslash and newline only; quotes are legal in help).
+func TestPrometheusHelp(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("helped_total", "first line\nsecond \\ \"quoted\"")
+	reg.Counter("helped_total").Add(3)
+	reg.Counter("unhelped_total").Add(4)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	helpLine := `# HELP helped_total first line\nsecond \\ "quoted"`
+	hi := strings.Index(out, helpLine)
+	ti := strings.Index(out, "# TYPE helped_total counter")
+	if hi < 0 || ti < 0 || hi > ti {
+		t.Fatalf("want HELP before TYPE for helped_total:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP unhelped_total") {
+		t.Fatalf("family without registered help got a HELP line:\n%s", out)
+	}
+	if h := reg.Help("helped_total"); !strings.HasPrefix(h, "first line") {
+		t.Fatalf("Help() = %q", h)
+	}
+}
+
+// TestSetHelpConflictPanics: two components disagreeing on a family's
+// meaning is a bug.
+func TestSetHelpConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("fam_total", "one")
+	reg.SetHelp("fam_total", "one") // same text is fine
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("conflicting SetHelp did not panic")
+		} else if !strings.Contains(r.(string), "conflicting help") {
+			t.Fatalf("panic message %q lacks 'conflicting help'", r)
+		}
+	}()
+	reg.SetHelp("fam_total", "two")
+}
+
+// TestDuplicateRegistrationPanicMessage pins the error surface of
+// re-registering one identity as another kind.
+func TestDuplicateRegistrationPanicMessage(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kinded", L("a", "1")).Add(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("kind flip did not panic")
+		}
+		msg := r.(string)
+		for _, want := range []string{"duplicate registration", `"kinded"`, "already a counter", "requested a gauge"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q lacks %q", msg, want)
+			}
+		}
+	}()
+	reg.Gauge("kinded", L("a", "1"))
+}
+
+// TestWritePrometheusMulti merges per-job registries under injected job
+// labels: each family header appears exactly once even when the family
+// lives in several registries, and injected labels never override a
+// metric's own.
+func TestWritePrometheusMulti(t *testing.T) {
+	fleet := NewRegistry()
+	fleet.Gauge("monsvc_jobs").Set(2)
+
+	a := NewRegistry()
+	a.SetHelp("job_rows_total", "Rows ingested.")
+	a.Counter("job_rows_total").Add(10)
+	a.Counter("tagged_total", L("job", "own")).Add(1)
+	b := NewRegistry()
+	b.Counter("job_rows_total").Add(20)
+
+	var buf bytes.Buffer
+	err := WritePrometheusMulti(&buf,
+		LabeledRegistry{Reg: fleet},
+		LabeledRegistry{Reg: a, Labels: []Label{L("job", "jA"), L("name", "alpha")}},
+		LabeledRegistry{Reg: b, Labels: []Label{L("job", "jB")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP job_rows_total Rows ingested.",
+		`job_rows_total{job="jA",name="alpha"} 10`,
+		`job_rows_total{job="jB"} 20`,
+		"monsvc_jobs 2",
+		// Metric's own job label wins over injected job="jA"; the
+		// non-colliding injected name label still applies.
+		`tagged_total{job="own",name="alpha"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE job_rows_total counter"); n != 1 {
+		t.Fatalf("# TYPE job_rows_total appears %d times, want exactly 1:\n%s", n, out)
+	}
+	// Headers must precede every sample of their family.
+	if strings.Index(out, "# TYPE job_rows_total") > strings.Index(out, `job_rows_total{job="jA"`) {
+		t.Fatalf("sample before its # TYPE header:\n%s", out)
+	}
+}

@@ -128,6 +128,18 @@ type metric struct {
 	h      *Histogram
 }
 
+// kind names the instrument kind of a metric, for error messages.
+func (m *metric) kind() string {
+	switch {
+	case m.c != nil:
+		return "counter"
+	case m.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
 // Registry is a process-wide metrics registry. Instruments are created
 // (or found) by name plus label set; the returned pointers are meant to
 // be resolved once and updated lock-free on hot paths. Safe for
@@ -136,11 +148,32 @@ type Registry struct {
 	mu      sync.Mutex
 	byKey   map[string]*metric
 	ordered []*metric
+	help    map[string]string
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: make(map[string]*metric)}
+	return &Registry{byKey: make(map[string]*metric), help: make(map[string]string)}
+}
+
+// SetHelp registers the # HELP text of a metric family; the Prometheus
+// exporter emits it ahead of the family's # TYPE line. Re-registering a
+// family with different help text panics — two components disagreeing on
+// what a family means is a bug, not a runtime condition.
+func (r *Registry) SetHelp(family, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.help[family]; ok && prev != text {
+		panic(fmt.Sprintf("telemetry: metric family %q registered with conflicting help %q vs %q", family, prev, text))
+	}
+	r.help[family] = text
+}
+
+// Help returns the registered help text of a family ("" when unset).
+func (r *Registry) Help(family string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[family]
 }
 
 // metricKey canonicalizes (name, labels) — labels sorted by key.
@@ -171,7 +204,7 @@ func sortedLabels(labels []Label) []Label {
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	m := r.lookup(name, labels, func() *metric { return &metric{c: new(Counter)} })
 	if m.c == nil {
-		panic(fmt.Sprintf("telemetry: metric %q is not a counter", name))
+		panic(fmt.Sprintf("telemetry: duplicate registration of metric %q: already a %s, requested a counter (same name + labels must keep one kind)", name, m.kind()))
 	}
 	return m.c
 }
@@ -181,7 +214,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	m := r.lookup(name, labels, func() *metric { return &metric{g: new(Gauge)} })
 	if m.g == nil {
-		panic(fmt.Sprintf("telemetry: metric %q is not a gauge", name))
+		panic(fmt.Sprintf("telemetry: duplicate registration of metric %q: already a %s, requested a gauge (same name + labels must keep one kind)", name, m.kind()))
 	}
 	return m.g
 }
@@ -192,7 +225,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
 	m := r.lookup(name, labels, func() *metric { return &metric{h: newHistogram(bounds)} })
 	if m.h == nil {
-		panic(fmt.Sprintf("telemetry: metric %q is not a histogram", name))
+		panic(fmt.Sprintf("telemetry: duplicate registration of metric %q: already a %s, requested a histogram (same name + labels must keep one kind)", name, m.kind()))
 	}
 	return m.h
 }
