@@ -2,6 +2,7 @@ GO ?= go
 BENCHOUT ?= results/BENCH_hotpath.json
 GATHEROUT ?= results/BENCH_gather.json
 SERVEOUT ?= results/BENCH_serve.json
+ENGINEOUT ?= results/BENCH_engine.json
 
 .PHONY: build test vet race bench benchsmoke ci
 
@@ -20,7 +21,7 @@ test:
 # / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree),
 # and the monitoring daemon's concurrent ingest/read service.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc
 
 # bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
 # allocation rate), the TreeMatch kernels, and the collective layer — and
@@ -39,7 +40,11 @@ bench:
 	tmp3=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench '^(BenchmarkServeIngest|BenchmarkServeView|BenchmarkFrameCodec)$$' -benchmem ./internal/monsvc | tee -a $$tmp3 && \
 	$(GO) run ./cmd/benchjson -out $(SERVEOUT) < $$tmp3 && \
-	rm -f $$tmp3 && echo "wrote $(SERVEOUT)"
+	rm -f $$tmp3 && echo "wrote $(SERVEOUT)" && \
+	tmp4=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench '^BenchmarkEventEngine$$' -benchtime 1x -benchmem -timeout 30m . | tee -a $$tmp4 && \
+	$(GO) run ./cmd/benchjson -out $(ENGINEOUT) < $$tmp4 && \
+	rm -f $$tmp4 && echo "wrote $(ENGINEOUT)"
 
 # benchsmoke compiles and runs every benchmark exactly once so the harness
 # cannot bit-rot; it measures nothing.

@@ -181,6 +181,34 @@ func BenchmarkGatherSparse(b *testing.B) {
 	}
 }
 
+// BenchmarkEventEngine measures the discrete-event execution engine on
+// monitored stencil worlds up to np = 65536 (the issue's 256x256 grid,
+// auto-selected above 8192 ranks), plus the goroutine engine at the
+// smallest size for comparison. Metrics: scheduler dispatches, dispatches
+// per second of host time, and the live heap with the whole world
+// reachable. The TreeMatch mapping is skipped (see
+// BenchmarkTable1TreeMatchScale); cmd/exp-engine-scale runs the full
+// pipeline.
+func BenchmarkEventEngine(b *testing.B) {
+	run := func(b *testing.B, np int, engine string) {
+		var row exp.EngineRow
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, row, err = exp.StencilWorldSparse(np, 3, 4096, engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(row.Events), "events")
+		b.ReportMetric(row.EventsPerSec, "events_per_s")
+		b.ReportMetric(row.HeapMB, "heap_MB")
+	}
+	for _, np := range []int{4096, 16384, 65536} {
+		b.Run("event/np"+itoa(np), func(b *testing.B) { run(b, np, "event") })
+	}
+	b.Run("goroutine/np4096", func(b *testing.B) { run(b, 4096, "goroutine") })
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -1,0 +1,55 @@
+// Command exp-engine-scale measures the discrete-event execution engine on
+// growing monitored stencil worlds: scheduler events, events per second of
+// host time, wall time and live heap at np = 4096, 16384 and 65536 (the
+// 256x256 stencil), plus the TreeMatch mapping of the gathered matrix up
+// to -map-up-to. The point of the event engine: one runnable goroutine and
+// a central virtual-time heap instead of np free-running goroutines, so a
+// 65536-rank world fits laptop-class hardware (see docs/PERFORMANCE.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpimon/internal/exp"
+)
+
+func main() {
+	nps := flag.String("np", "4096,16384,65536", "world sizes (perfect squares)")
+	iters := flag.Int("iters", exp.DefaultEngineScale.Iters, "monitored halo-exchange iterations")
+	msg := flag.Int("msg", exp.DefaultEngineScale.MsgBytes, "halo message size in bytes (skeleton)")
+	mapUpTo := flag.Int("map-up-to", exp.DefaultEngineScale.MapUpTo, "largest np that also runs the TreeMatch mapping")
+	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	engine := flag.String("engine", "event", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
+	flag.Parse()
+	flush := exp.TelemetrySetup(*telem)
+	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-engine-scale:", err)
+		os.Exit(1)
+	}
+
+	cfg := exp.DefaultEngineScale
+	cfg.Iters, cfg.MsgBytes, cfg.MapUpTo, cfg.Engine = *iters, *msg, *mapUpTo, *engine
+	if cfg.NPs, err = exp.ParseInts(*nps); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-engine-scale:", err)
+		os.Exit(1)
+	}
+	rows, err := exp.EngineScale(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp-engine-scale:", err)
+		os.Exit(1)
+	}
+	exp.PrintEngineScale(os.Stdout, rows)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-engine-scale:", err)
+		os.Exit(1)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-engine-scale:", err)
+		os.Exit(1)
+	}
+}

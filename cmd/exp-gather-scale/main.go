@@ -1,7 +1,9 @@
 // Command exp-gather-scale measures the sparse monitoring gathers on
 // growing stencil worlds: the wire bytes and root peak memory of
 // RootgatherSparse/AllgatherSparse against the 16n² bytes the dense path
-// would move, at np = 256, 1024 and 4096 (the 64x64 stencil).
+// would move, at np = 256, 1024 and 4096 (the 64x64 stencil). Larger
+// worlds work too — `-np 16384,65536` completes in seconds under the
+// discrete-event engine, which -engine auto selects above 8192 ranks.
 package main
 
 import (
@@ -20,7 +22,12 @@ func main() {
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	engine := flag.String("engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
 	flag.Parse()
+	if err := exp.EngineSetup(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-gather-scale:", err)
+		os.Exit(1)
+	}
 	flush := exp.TelemetrySetup(*telem)
 	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
 	if err != nil {

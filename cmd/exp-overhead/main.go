@@ -19,7 +19,12 @@ func main() {
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	engine := flag.String("engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
 	flag.Parse()
+	if err := exp.EngineSetup(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-overhead:", err)
+		os.Exit(1)
+	}
 	flush := exp.TelemetrySetup(*telem)
 	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
 	if err != nil {

@@ -26,7 +26,12 @@ func main() {
 	iters := flag.Int("iters", exp.DefaultServe.Iters, "base halo-exchange iterations per epoch")
 	msg := flag.Int("msg", exp.DefaultServe.MsgBytes, "base halo message size in bytes (skeleton)")
 	daemon := flag.String("daemon", "", "base URL of an external mpimond (empty: in-process daemon)")
+	engine := flag.String("engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
 	flag.Parse()
+	if err := exp.EngineSetup(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-serve:", err)
+		os.Exit(1)
+	}
 
 	cfg := exp.DefaultServe
 	cfg.Worlds, cfg.NP, cfg.Epochs = *worlds, *np, *epochs

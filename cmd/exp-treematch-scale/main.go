@@ -1,6 +1,14 @@
 // Command exp-treematch-scale regenerates the paper's Table 1: the time
 // TreeMatch needs to compute a reordering for very large communication
 // matrices (orders 8192 to 65536).
+//
+// With -from-world the synthetic matrices are replaced by real ones: each
+// order (then a perfect square — try -orders 4096,16384,65536) runs a
+// monitored stencil-skeleton world under the chosen -engine, gathers its
+// sparse communication matrix and maps that, exercising the full
+// introspect-then-reorder pipeline at Table 1 scale. The event engine
+// (selected automatically above 8192 ranks) is what makes the 65536-rank
+// world feasible; see docs/PERFORMANCE.md.
 package main
 
 import (
@@ -13,10 +21,18 @@ import (
 
 func main() {
 	orders := flag.String("orders", "8192,16384,32768,65536", "matrix orders")
+	fromWorld := flag.Bool("from-world", false, "map matrices gathered from real monitored stencil worlds (orders must be perfect squares)")
+	iters := flag.Int("iters", 0, "from-world: monitored halo-exchange iterations (0 = default)")
+	msg := flag.Int("msg", 0, "from-world: halo message size in bytes (0 = default)")
 	telem := flag.String("telemetry", "", "write a Chrome trace-event file of the run's telemetry spans")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprof := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	engine := flag.String("engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
 	flag.Parse()
+	if err := exp.EngineSetup(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
+		os.Exit(1)
+	}
 	flush := exp.TelemetrySetup(*telem)
 	stopProf, err := exp.ProfileSetup(*cpuprof, *memprof)
 	if err != nil {
@@ -25,6 +41,7 @@ func main() {
 	}
 
 	cfg := exp.DefaultTMScale
+	cfg.FromWorld, cfg.Engine, cfg.Iters, cfg.MsgBytes = *fromWorld, *engine, *iters, *msg
 	if cfg.Orders, err = exp.ParseInts(*orders); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-treematch-scale:", err)
 		os.Exit(1)

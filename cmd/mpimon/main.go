@@ -67,6 +67,7 @@ type config struct {
 	telemetry string
 	serve     string
 	seed      int64
+	engine    string
 	cpuprof   string
 	memprof   string
 	stdout    io.Writer // defaults to os.Stdout
@@ -89,6 +90,7 @@ func main() {
 	flag.StringVar(&cfg.telemetry, "telemetry", "", "write the telemetry span tree to this file (.csv for CSV, Chrome trace JSON otherwise)")
 	flag.StringVar(&cfg.serve, "serve", "", "after the run, serve Prometheus metrics on this address (e.g. :9464)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random placement seed")
+	flag.StringVar(&cfg.engine, "engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
 	flag.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&cfg.memprof, "memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
@@ -266,6 +268,11 @@ func execute(cfg *config) (*report, *telemetry.Telemetry, error) {
 
 	tel := telemetry.New()
 	opts := []mpi.Option{mpi.WithPlacement(place)}
+	if eng, err := mpi.EngineByName(cfg.engine); err != nil {
+		return nil, nil, err
+	} else if eng != nil {
+		opts = append(opts, mpi.WithEngine(eng))
+	}
 	if cfg.telemetry != "" || cfg.serve != "" {
 		opts = append(opts, mpi.WithTelemetry(tel))
 	}

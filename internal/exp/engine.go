@@ -1,0 +1,26 @@
+package exp
+
+import "mpimon/internal/mpi"
+
+// engineOpt carries the -engine flag's choice into every experiment world.
+// It is deliberately separate from worldOptions: SetWorldOptions replaces
+// its whole slice (TelemetrySetup calls it), and the engine choice must
+// survive that.
+var engineOpt []mpi.Option
+
+// EngineSetup interprets the shared -engine flag of the cmd/exp-*
+// harnesses: "goroutine" or "event" forces that execution engine on every
+// subsequent experiment world, "auto" (or "") restores the default
+// size-based selection. Not safe to call while a driver is running.
+func EngineSetup(name string) error {
+	e, err := mpi.EngineByName(name)
+	if err != nil {
+		return err
+	}
+	if e == nil {
+		engineOpt = nil
+		return nil
+	}
+	engineOpt = []mpi.Option{mpi.WithEngine(e)}
+	return nil
+}

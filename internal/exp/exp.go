@@ -47,8 +47,12 @@ func SetWorldOptions(opts ...mpi.Option) { worldOptions = opts }
 // newWorld is the single world constructor of the experiment drivers,
 // merging the injected package options with the driver's own.
 func newWorld(mach *netsim.Machine, np int, opts ...mpi.Option) (*mpi.World, error) {
-	if len(worldOptions) > 0 {
-		opts = append(append([]mpi.Option(nil), worldOptions...), opts...)
+	if len(engineOpt) > 0 || len(worldOptions) > 0 {
+		merged := make([]mpi.Option, 0, len(engineOpt)+len(worldOptions)+len(opts))
+		merged = append(merged, engineOpt...)
+		merged = append(merged, worldOptions...)
+		merged = append(merged, opts...)
+		opts = merged
 	}
 	return mpi.NewWorld(mach, np, opts...)
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"io"
 	"log"
 	"sync/atomic"
@@ -19,6 +20,19 @@ type TMScaleConfig struct {
 	// describe its matrices; see DESIGN.md substitution table).
 	ClusterSize int
 	Seed        int64
+	// FromWorld replaces the synthetic matrices with real ones: each order
+	// (then a perfect square, e.g. 4096, 16384, 65536) runs a monitored
+	// stencil-skeleton world under Engine, gathers its sparse matrix with
+	// RootgatherSparse and maps that — the paper's whole
+	// introspect-then-reorder pipeline at Table 1 scale.
+	FromWorld bool
+	// Engine picks the execution engine for from-world runs ("goroutine",
+	// "event", "" / "auto" for the size-based default).
+	Engine string
+	// Iters and MsgBytes shape the from-world stencil phase; zero values
+	// take the DefaultEngineScale settings.
+	Iters    int
+	MsgBytes int
 }
 
 // DefaultTMScale mirrors the paper's orders.
@@ -54,7 +68,10 @@ func TreeMatchScale(cfg TMScaleConfig) ([]TMRow, error) {
 
 	var rows []TMRow
 	for _, order := range cfg.Orders {
-		m := workloads.ClusteredSparse(order, cfg.ClusterSize, 1000, 1, cfg.Seed)
+		m, err := tmScaleMatrix(order, cfg)
+		if err != nil {
+			return nil, err
+		}
 		topo, err := topology.New(order/32, 2, 16)
 		if err != nil {
 			return nil, err
@@ -72,6 +89,30 @@ func TreeMatchScale(cfg TMScaleConfig) ([]TMRow, error) {
 		rows = append(rows, TMRow{Order: order, Seconds: time.Since(t0).Seconds()})
 	}
 	return rows, nil
+}
+
+// tmScaleMatrix produces the affinity matrix for one Table 1 order: the
+// synthetic clustered matrix by default, or — in from-world mode — the
+// sparse matrix a monitored stencil world of that size actually gathered,
+// converted in O(nnz) by FromSparseRows.
+func tmScaleMatrix(order int, cfg TMScaleConfig) (*treematch.Matrix, error) {
+	if !cfg.FromWorld {
+		return workloads.ClusteredSparse(order, cfg.ClusterSize, 1000, 1, cfg.Seed), nil
+	}
+	iters, msgBytes := cfg.Iters, cfg.MsgBytes
+	if iters == 0 {
+		iters = DefaultEngineScale.Iters
+	}
+	if msgBytes == 0 {
+		msgBytes = DefaultEngineScale.MsgBytes
+	}
+	sm, row, err := StencilWorldSparse(order, iters, msgBytes, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("from-world order %d: %w", order, err)
+	}
+	log.Printf("treematch-scale: order %d: %s engine, %d events in %.2fs (%.0f events/s), %.1f MB heap, nnz %d",
+		order, row.Engine, row.Events, row.WallSeconds, row.EventsPerSec, row.HeapMB, row.NNZ)
+	return treematch.FromSparseRows(sm)
 }
 
 // PrintTMScale writes Table 1.

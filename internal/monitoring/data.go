@@ -44,7 +44,7 @@ func (s *Session) Data(flags Flags) (counts, bytes []uint64, err error) {
 	case Active:
 		return nil, nil, ErrSessionNotSuspended
 	}
-	n := len(s.group)
+	n := s.n
 	counts = make([]uint64, n)
 	bytes = make([]uint64, n)
 	for _, cl := range cls {
@@ -262,7 +262,7 @@ func (s *Session) Flush(filename string, flags Flags) error {
 	name := fmt.Sprintf("%s.%d.prof", filename, rank)
 	return writeProf(name, func(w *bufio.Writer) error {
 		if _, err := fmt.Fprintf(w, "# mpimon monitoring session %d rank %d size %d flags %s\n",
-			s.id, rank, len(s.group), flagNames(flags)); err != nil {
+			s.id, rank, s.n, flagNames(flags)); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "# dst\tcount\tbytes\n"); err != nil {
@@ -314,7 +314,7 @@ func (s *Session) RootFlush(root int, filename string, flags Flags) error {
 		return nil
 	}
 	worldRank := s.comm.WorldRank(root)
-	n := len(s.group)
+	n := s.n
 	write := func(name string, m []uint64) error {
 		return writeProf(name, func(w *bufio.Writer) error {
 			if _, err := fmt.Fprintf(w, "# mpimon monitoring session %d matrix %dx%d flags %s\n",
@@ -416,7 +416,7 @@ func (s *Session) WriteJSON(w io.Writer, flags Flags) error {
 	if s.comm.Rank() != 0 {
 		return nil
 	}
-	n := len(s.group)
+	n := s.n
 	doc := matrixJSON{
 		Session: int(s.id),
 		Size:    n,

@@ -283,13 +283,20 @@ func (e *Env) Start(comm *mpi.Comm) (*Session, error) {
 		env:   e,
 		id:    e.nextMsid,
 		comm:  comm,
-		group: comm.Group(),
+		n:     comm.Size(),
 		state: Active,
 	}
 	e.nextMsid++
-	s.w2c = make(map[int32]int32, len(s.group))
-	for ci, wr := range s.group {
-		s.w2c[int32(wr)] = int32(ci)
+	// COMM_WORLD (context 0) maps world rank to comm rank identically, so
+	// the membership map would be an O(np) identity table per rank — a
+	// 65536-rank world cannot afford one. Sessions on derived communicators
+	// still build the real map.
+	if comm.Context() != 0 {
+		group := comm.Group()
+		s.w2c = make(map[int32]int32, len(group))
+		for ci, wr := range group {
+			s.w2c[int32(wr)] = int32(ci)
+		}
 	}
 	s.takeSnapshot(sample)
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
@@ -355,11 +362,13 @@ type cbPair struct {
 // completed active spans. A 2D-stencil session on a 4096-rank world holds
 // a handful of entries, not 6×4096 words.
 type Session struct {
-	env   *Env
-	id    Msid
-	comm  *mpi.Comm
-	group []int           // comm rank -> world rank
-	w2c   map[int32]int32 // world rank -> comm rank (membership filter)
+	env  *Env
+	id   Msid
+	comm *mpi.Comm
+	n    int // communicator size
+	// w2c maps world rank -> comm rank (the membership filter); nil for a
+	// COMM_WORLD session, where the mapping is the identity on [0, n).
+	w2c map[int32]int32
 
 	mu    sync.Mutex
 	state State
@@ -400,7 +409,7 @@ func (s *Session) takeSnapshot(sample pvarSample) {
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
 		m := make(map[int32]cbPair, len(sample.peers[cl]))
 		for i, wr := range sample.peers[cl] {
-			if _, member := s.w2c[int32(wr)]; !member {
+			if _, member := s.commRank(int32(wr)); !member {
 				continue
 			}
 			m[int32(wr)] = cbPair{cnt: sample.counts[cl][i], byt: sample.bytes[cl][i]}
@@ -409,12 +418,23 @@ func (s *Session) takeSnapshot(sample pvarSample) {
 	}
 }
 
+// commRank translates a world rank to the session communicator's rank,
+// reporting membership. A nil w2c means a COMM_WORLD session: identity on
+// [0, n).
+func (s *Session) commRank(wr int32) (int32, bool) {
+	if s.w2c == nil {
+		return wr, wr >= 0 && int(wr) < s.n
+	}
+	ci, member := s.w2c[wr]
+	return ci, member
+}
+
 // accumulate folds the delta between the sample and the snapshot into the
 // accumulated per-peer state. Callers hold s.mu.
 func (s *Session) accumulate(sample pvarSample) {
 	for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
 		for i, wr := range sample.peers[cl] {
-			ci, member := s.w2c[int32(wr)]
+			ci, member := s.commRank(int32(wr))
 			if !member {
 				continue
 			}
@@ -481,7 +501,7 @@ func (s *Session) Suspend() error {
 	if exporter != nil {
 		row = s.sparseRowLocked(AllComm.classes())
 	}
-	rank, n := s.comm.Rank(), len(s.group)
+	rank, n := s.comm.Rank(), s.n
 	s.mu.Unlock()
 	if s.env.tr != nil {
 		s.env.tr.Event("session.suspend", int64(s.env.p.Clock()))
@@ -572,5 +592,5 @@ func (s *Session) GetInfo() (Info, error) {
 	if s.state == Freed {
 		return Info{}, ErrInvalidMsid
 	}
-	return Info{Provided: ThreadMultiple, ArraySize: len(s.group)}, nil
+	return Info{Provided: ThreadMultiple, ArraySize: s.n}, nil
 }

@@ -1,0 +1,420 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"mpimon/internal/netsim/event"
+)
+
+// Engine is the execution strategy of a World.Run: how the np rank programs
+// are driven against the shared virtual-time state. Both engines present the
+// exact same Comm API and — on configurations where the goroutine engine is
+// itself deterministic — the exact same results; they differ in how a
+// blocked rank waits.
+//
+//   - The goroutine engine (the original runtime) runs every rank as a free
+//     goroutine; a blocked receive parks on a condition variable and the Go
+//     scheduler interleaves ranks arbitrarily.
+//   - The event engine runs ranks as resumable state machines driven off a
+//     central virtual-time event heap: exactly one rank executes at a time,
+//     a blocking point parks the rank and registers it with the scheduler,
+//     and wake-ups dispatch in deterministic (time, rank, seq) order. This
+//     removes all cross-rank host-level contention (queue mutexes and
+//     condition broadcasts never contend), makes every run bit-replayable,
+//     turns a cyclic wait into an immediate deadlock error instead of a
+//     hang, and scales to worlds of 10⁴–10⁵ ranks (see docs/PERFORMANCE.md).
+type Engine interface {
+	// Name returns the engine's flag name ("goroutine" or "event").
+	Name() string
+	// run executes fn on every rank of the world and returns the joined
+	// error, with the same aggregation semantics for both engines.
+	run(w *World, fn func(c *Comm) error) error
+}
+
+// EngineGoroutine is the original goroutine-per-rank engine.
+var EngineGoroutine Engine = goroutineEngine{}
+
+// EngineEvent is the discrete-event engine: ranks scheduled off a central
+// virtual-time heap, one at a time.
+var EngineEvent Engine = eventEngine{}
+
+// EngineAutoThreshold is the world size above which NewWorld selects the
+// event engine when no explicit WithEngine option was given. Below it the
+// goroutine engine remains the default (it exploits host parallelism, which
+// wins on small worlds with heavy per-rank compute).
+const EngineAutoThreshold = 8192
+
+// EngineByName resolves an -engine flag value. "auto" (and "") yield nil,
+// which WithEngine interprets as automatic selection by world size.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return nil, nil
+	case "goroutine":
+		return EngineGoroutine, nil
+	case "event":
+		return EngineEvent, nil
+	default:
+		return nil, fmt.Errorf("mpi: unknown engine %q (want goroutine, event or auto)", name)
+	}
+}
+
+// WithEngine selects the world's execution engine. A nil engine (the
+// default) selects automatically: the goroutine engine up to
+// EngineAutoThreshold ranks, the event engine above.
+func WithEngine(e Engine) Option {
+	return func(w *World) { w.eng = e }
+}
+
+// autoEngineOnce makes the automatic large-world engine switch announce
+// itself exactly once per process, so batch sweeps do not spam the log.
+var autoEngineOnce sync.Once
+
+// pickEngine finalizes the world's engine after options were applied.
+func (w *World) pickEngine() {
+	if w.eng != nil {
+		return
+	}
+	if w.size > EngineAutoThreshold {
+		autoEngineOnce.Do(func() {
+			log.Printf("mpi: world of %d ranks exceeds %d, selecting the event engine (override with WithEngine / -engine)",
+				w.size, EngineAutoThreshold)
+		})
+		w.eng = EngineEvent
+		return
+	}
+	w.eng = EngineGoroutine
+}
+
+// Engine returns the engine the world runs on.
+func (w *World) Engine() Engine { return w.eng }
+
+// EngineStats describes one completed (or running) Run's scheduling work.
+type EngineStats struct {
+	// Events is the number of scheduler dispatches (event engine; zero for
+	// the goroutine engine, which has no central dispatcher).
+	Events uint64
+}
+
+// EngineStats returns the world's scheduling statistics.
+func (w *World) EngineStats() EngineStats {
+	if w.ev == nil {
+		return EngineStats{}
+	}
+	return EngineStats{Events: w.ev.events}
+}
+
+// rankBody runs one rank's program with the shared recover/abort wrapper.
+func (w *World) rankBody(rank int, fn func(c *Comm) error, errs []error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+		}
+		// A rank exiting because its own node died is a planned failure the
+		// survivors can recover from, not a reason to tear the world down.
+		if errs[rank] != nil && !w.RankFailed(rank) {
+			w.abort()
+		}
+	}()
+	errs[rank] = fn(w.worldComm(rank))
+}
+
+// collectErrs reports real failures: not the ErrAborted fallout they caused
+// on other ranks, and not the deaths of ranks a fault plan killed (their
+// ErrProcFailed exit is the expected way out) — unless fallout is all there
+// is.
+func (w *World) collectErrs(errs []error) error {
+	var real []error
+	for r, e := range errs {
+		if e == nil || errors.Is(e, ErrAborted) {
+			continue
+		}
+		if w.RankFailed(r) && errors.Is(e, ErrProcFailed) {
+			continue
+		}
+		real = append(real, e)
+	}
+	if len(real) > 0 {
+		return errors.Join(real...)
+	}
+	if w.aborted.Load() {
+		return errors.Join(errs...)
+	}
+	return nil
+}
+
+// goroutineEngine is the original execution strategy: one free-running
+// goroutine per rank, blocking on condition variables.
+type goroutineEngine struct{}
+
+func (goroutineEngine) Name() string { return "goroutine" }
+
+func (goroutineEngine) run(w *World, fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			w.rankBody(rank, fn, errs)
+		}(r)
+	}
+	wg.Wait()
+	return w.collectErrs(errs)
+}
+
+// eventEngine executes the world as a discrete-event simulation.
+type eventEngine struct{}
+
+func (eventEngine) Name() string { return "event" }
+
+func (eventEngine) run(w *World, fn func(c *Comm) error) error {
+	s := &evScheduler{
+		w:     w,
+		ranks: make([]evRankState, w.size),
+		sched: make(chan evMsg),
+	}
+	w.ev = s
+	return s.run(fn)
+}
+
+// evWake is the reason a parked rank was resumed.
+type evWake uint8
+
+const (
+	// evWakeRun: something the rank may be waiting on changed; re-evaluate.
+	evWakeRun evWake = iota
+	// evWakeTimeout: the virtual deadline of the wait passed.
+	evWakeTimeout
+	// evWakeDeadlock: the heap is empty and every live rank is parked — the
+	// wait can never be satisfied.
+	evWakeDeadlock
+)
+
+// evMsg is what a rank goroutine reports to the dispatcher when it yields:
+// either it parked at a blocking point or its program finished.
+type evMsg struct {
+	rank     int
+	finished bool
+}
+
+// evRankState is the scheduler's per-rank bookkeeping.
+//
+// Concurrency discipline: at any instant exactly one goroutine runs — the
+// dispatcher or the single dispatched rank — and control transfers through
+// the resume/sched channels, which carry the happens-before edges. All
+// scheduler state (the heap, these fields, other ranks' clocks) is
+// therefore accessed data-race-free without locks.
+type evRankState struct {
+	resume chan evWake
+	// waitID is the generation of the rank's current (or next) wait; heap
+	// items stamped with an older generation are stale and skipped.
+	waitID uint64
+	// blocked is true while the rank is parked waiting for a dispatch.
+	blocked bool
+	done    bool
+	// wantAny marks a park that any arrival may unblock (agreement waits);
+	// otherwise (wantCtx, wantSrc, wantTag) is the message envelope of the
+	// receive the rank parked in, and noteArrival only wakes it for a
+	// matching arrival. Without the filter a gather root parked on a
+	// specific source is woken — and rescans its whole queue — once per
+	// arrival from anyone, which turns an np-wide fan-in into O(np²)
+	// message-match work.
+	wantAny                   bool
+	wantCtx, wantSrc, wantTag int
+}
+
+// evScheduler drives one Run of the event engine.
+type evScheduler struct {
+	w     *World
+	q     event.Queue
+	ranks []evRankState
+	// sched is the yield channel: the running rank hands control back to
+	// the dispatcher through it (unbuffered: the handoff is the
+	// synchronization).
+	sched chan evMsg
+	// events counts dispatches, the engine's work metric (events/sec).
+	events uint64
+	live   int
+}
+
+func (s *evScheduler) run(fn func(c *Comm) error) error {
+	w := s.w
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		st := &s.ranks[r]
+		st.resume = make(chan evWake, 1)
+		st.blocked = true // waiting for the initial dispatch
+	}
+	s.live = w.size
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			// The rank is a coroutine: it runs only between a resume
+			// receive and the next sched send. Its goroutine is merely the
+			// carrier of the state machine's stack.
+			<-s.ranks[rank].resume
+			defer func() { s.sched <- evMsg{rank: rank, finished: true} }()
+			w.rankBody(rank, fn, errs)
+		}(r)
+	}
+	// Seed: every rank becomes runnable at virtual time zero, in rank
+	// order (the deterministic tie-break).
+	for r := 0; r < w.size; r++ {
+		s.q.Push(0, int32(r), s.ranks[r].waitID, event.Wake)
+	}
+
+	for s.live > 0 {
+		// An abort (rank failure, external watchdog) must unwind parked
+		// ranks that have no pending events anymore.
+		if w.aborted.Load() {
+			if r := s.firstBlocked(); r >= 0 {
+				s.dispatch(r, evWakeRun)
+				continue
+			}
+		}
+		if it, ok := s.popLive(); ok {
+			reason := evWakeRun
+			if it.Kind == event.Timeout {
+				reason = evWakeTimeout
+			}
+			s.dispatch(int(it.Rank), reason)
+			continue
+		}
+		// No pending event and nobody ran: every live rank is parked on a
+		// wait nothing will ever satisfy. Surface the deadlock on the
+		// lowest blocked rank; its error aborts the world and the abort
+		// branch above unwinds the rest.
+		r := s.firstBlocked()
+		if r < 0 {
+			// Defensive: live > 0 but nobody blocked cannot happen under
+			// the single-runner discipline.
+			panic("mpi: event scheduler lost track of its ranks")
+		}
+		s.dispatch(r, evWakeDeadlock)
+	}
+	return w.collectErrs(errs)
+}
+
+// popLive pops heap items until one targets a rank still parked on the
+// generation the item was stamped with (lazy deletion of stale wake-ups).
+func (s *evScheduler) popLive() (event.Item, bool) {
+	for s.q.Len() > 0 {
+		it := s.q.Pop()
+		st := &s.ranks[it.Rank]
+		if st.done || !st.blocked || it.ID != st.waitID {
+			continue
+		}
+		return it, true
+	}
+	return event.Item{}, false
+}
+
+// firstBlocked returns the lowest-ranked parked rank, or -1.
+func (s *evScheduler) firstBlocked() int {
+	for r := range s.ranks {
+		if s.ranks[r].blocked && !s.ranks[r].done {
+			return r
+		}
+	}
+	return -1
+}
+
+// dispatch resumes one parked rank and waits until it parks again or its
+// program finishes. This is the single-runner handoff: between the resume
+// send and the sched receive, the dispatched rank owns all scheduler state.
+func (s *evScheduler) dispatch(rank int, reason evWake) {
+	st := &s.ranks[rank]
+	st.blocked = false
+	// Bump the generation so wake-ups aimed at the wait that just ended
+	// die on the heap; events pushed from here on target the next park.
+	st.waitID++
+	s.events++
+	st.resume <- reason
+	m := <-s.sched
+	if m.finished {
+		s.ranks[m.rank].done = true
+		s.live--
+	}
+	// A parked rank set its own blocked flag before yielding.
+}
+
+// park suspends the calling rank until the dispatcher resumes it, returning
+// the wake reason. Runs on the rank's goroutine, which is the current
+// runner; deadlineAt ≥ 0 additionally schedules a Timeout at that virtual
+// time for the wait that starts now. The caller must hold no locks shared
+// with other ranks.
+func (s *evScheduler) park(p *Proc, deadlineAt int64) evWake {
+	s.ranks[p.rank].wantAny = true
+	return s.parkYield(p, deadlineAt)
+}
+
+// parkRecv is park for a message wait: only an arrival matching the
+// (ctx, src, tag) envelope wakes the rank (wildcards as in message.matches).
+func (s *evScheduler) parkRecv(p *Proc, deadlineAt int64, ctx, src, tag int) evWake {
+	st := &s.ranks[p.rank]
+	st.wantAny = false
+	st.wantCtx, st.wantSrc, st.wantTag = ctx, src, tag
+	return s.parkYield(p, deadlineAt)
+}
+
+func (s *evScheduler) parkYield(p *Proc, deadlineAt int64) evWake {
+	st := &s.ranks[p.rank]
+	if deadlineAt >= 0 {
+		s.q.Push(deadlineAt, int32(p.rank), st.waitID, event.Timeout)
+	}
+	st.blocked = true
+	s.sched <- evMsg{rank: p.rank}
+	return <-st.resume
+}
+
+// noteArrival schedules a wake-up for the owner of a queue that just
+// received a message, if it is parked in a wait this message can satisfy:
+// it becomes runnable when the message arrives (or immediately, if its
+// clock is already past the arrival). Called by the sending rank, i.e. the
+// current runner.
+func (s *evScheduler) noteArrival(p *Proc, m *message) {
+	st := &s.ranks[p.rank]
+	if st.done || !st.blocked {
+		return
+	}
+	if !st.wantAny && !m.matches(st.wantCtx, st.wantSrc, st.wantTag) {
+		return
+	}
+	t := p.clock
+	if m.arrival > t {
+		t = m.arrival
+	}
+	s.q.Push(t, int32(p.rank), st.waitID, event.Wake)
+}
+
+// wakeRanks schedules a wake-up for every parked rank in group whose
+// re-evaluation may now succeed (agreement seal), at no earlier than at.
+// Called by the current runner.
+func (s *evScheduler) wakeRanks(group []int, at int64) {
+	for _, r := range group {
+		st := &s.ranks[r]
+		if st.done || !st.blocked {
+			continue
+		}
+		t := s.w.procs[r].clock
+		if at > t {
+			t = at
+		}
+		s.q.Push(t, int32(r), st.waitID, event.Wake)
+	}
+}
+
+// wakeAllBlocked schedules a wake-up for every parked rank (failure and
+// revocation propagation). Called by the current runner.
+func (s *evScheduler) wakeAllBlocked() {
+	for r := range s.ranks {
+		st := &s.ranks[r]
+		if st.done || !st.blocked {
+			continue
+		}
+		s.q.Push(s.w.procs[r].clock, int32(r), st.waitID, event.Wake)
+	}
+}

@@ -23,6 +23,13 @@ var (
 	// ErrTimeout reports that an operation with a deadline (RecvTimeout,
 	// the reorder mapping step) did not complete in time.
 	ErrTimeout = errors.New("mpi: operation timed out")
+	// ErrDeadlock reports that the discrete-event engine proved the
+	// program stuck: every live rank is blocked and no event is pending,
+	// so no wait can ever be satisfied. Only the event engine can detect
+	// this (the goroutine engine relies on RunWithTimeout's watchdog); the
+	// error is delivered to the lowest blocked rank, which aborts the
+	// world.
+	ErrDeadlock = errors.New("mpi: deadlock: every rank is blocked and no event is pending")
 )
 
 // MPIError is the typed error of the runtime's fault-tolerance layer: an
@@ -59,6 +66,10 @@ func revokedErr(op string) error {
 
 func timeoutErr(op string) error {
 	return &MPIError{Kind: ErrTimeout, Op: op, Rank: -1}
+}
+
+func deadlockErr(op string) error {
+	return &MPIError{Kind: ErrDeadlock, Op: op, Rank: -1}
 }
 
 // ErrHandler is a per-communicator error handler: every error returned by

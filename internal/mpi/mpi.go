@@ -45,6 +45,18 @@ type World struct {
 	level     pml.Level
 	tel       *telemetry.Telemetry
 
+	// eng is the execution engine (engine.go); ev is non-nil while (and
+	// after) Run executes on the event engine.
+	eng Engine
+	ev  *evScheduler
+
+	// worldGroup is the identity comm-rank-to-world-rank mapping shared by
+	// every rank's COMM_WORLD handle. Sharing one slice instead of building
+	// one per rank matters at scale: 65536 ranks would otherwise hold
+	// 65536 copies of a 512 KiB slice (32 GiB). Never mutated after
+	// NewWorld.
+	worldGroup []int
+
 	ctxMu   sync.Mutex
 	ctxSeq  int
 	ctxKeys map[splitKey]int
@@ -124,6 +136,11 @@ func NewWorld(mach *netsim.Machine, np int, opts ...Option) (*World, error) {
 	if err := w.initFaults(); err != nil {
 		return nil, err
 	}
+	w.pickEngine()
+	w.worldGroup = make([]int, np)
+	for i := range w.worldGroup {
+		w.worldGroup[i] = i
+	}
 	w.procs = make([]*Proc, np)
 	for r := 0; r < np; r++ {
 		w.procs[r] = newProc(w, r)
@@ -179,56 +196,17 @@ func (w *World) MaxClock() time.Duration {
 	return time.Duration(m)
 }
 
-// Run starts one goroutine per rank executing fn with that rank's
-// COMM_WORLD and waits for all of them. Panics inside fn are recovered and
-// reported as errors. Run may be called only once per World.
+// Run executes fn on every rank of the world — with that rank's COMM_WORLD
+// — and waits for all of them, using the world's engine (goroutine-per-rank
+// by default, discrete-event above EngineAutoThreshold ranks or with
+// WithEngine). Panics inside fn are recovered and reported as errors. Run
+// may be called only once per World.
 func (w *World) Run(fn func(c *Comm) error) error {
 	if w.ran {
 		return errors.New("mpi: World.Run called twice")
 	}
 	w.ran = true
-	errs := make([]error, w.size)
-	var wg sync.WaitGroup
-	wg.Add(w.size)
-	for r := 0; r < w.size; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
-				}
-				// A rank exiting because its own node died is a planned
-				// failure the survivors can recover from, not a reason to
-				// tear the world down.
-				if errs[rank] != nil && !w.RankFailed(rank) {
-					w.abort()
-				}
-			}()
-			errs[rank] = fn(w.worldComm(rank))
-		}(r)
-	}
-	wg.Wait()
-	// Report real failures: not the ErrAborted fallout they caused on
-	// other ranks, and not the deaths of ranks a fault plan killed (their
-	// ErrProcFailed exit is the expected way out) — unless fallout is all
-	// there is.
-	var real []error
-	for r, e := range errs {
-		if e == nil || errors.Is(e, ErrAborted) {
-			continue
-		}
-		if w.RankFailed(r) && errors.Is(e, ErrProcFailed) {
-			continue
-		}
-		real = append(real, e)
-	}
-	if len(real) > 0 {
-		return errors.Join(real...)
-	}
-	if w.aborted.Load() {
-		return errors.Join(errs...)
-	}
-	return nil
+	return w.eng.run(w, fn)
 }
 
 // abort wakes every rank blocked in a receive so the world can unwind
@@ -259,11 +237,10 @@ func (w *World) RunWithTimeout(d time.Duration, fn func(c *Comm) error) error {
 }
 
 func (w *World) worldComm(rank int) *Comm {
-	group := make([]int, w.size)
-	for i := range group {
-		group[i] = i
-	}
-	return &Comm{p: w.procs[rank], ctx: 0, group: group, rank: rank}
+	// Every rank shares the world's identity group slice; Comm never
+	// mutates its group after construction, so sharing is safe and keeps
+	// COMM_WORLD O(1) memory per rank.
+	return &Comm{p: w.procs[rank], ctx: 0, group: w.worldGroup, rank: rank}
 }
 
 // splitCtx returns the context id shared by all members of the communicator
@@ -316,9 +293,8 @@ func newProc(w *World, rank int) *Proc {
 		core:  w.placement[rank],
 		node:  w.mach.Topo.NodeOf(w.placement[rank]),
 		mon:   pml.NewMonitor(w.size, w.level),
-		rng:   rand.New(rand.NewSource(int64(rank)*1_000_003 + 17)),
 	}
-	p.queue.init(&w.aborted)
+	p.queue.init(p, &w.aborted)
 	return p
 }
 
@@ -341,8 +317,16 @@ func (p *Proc) Clock() time.Duration { return time.Duration(p.clock) }
 // (communication time), the quantity the paper's Fig. 7b reports.
 func (p *Proc) MPITime() time.Duration { return time.Duration(p.mpiTime) }
 
-// Rand returns the process's deterministic, rank-seeded random source.
-func (p *Proc) Rand() *rand.Rand { return p.rng }
+// Rand returns the process's deterministic, rank-seeded random source. It
+// is built on first use — a rand.Rand costs ~5 KiB, which no rank should
+// pay in a 65536-rank world that never asks for randomness. Like all Proc
+// methods it must be called from the owning goroutine.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(int64(p.rank)*1_000_003 + 17))
+	}
+	return p.rng
+}
 
 // Compute advances the virtual clock by d, modelling computation.
 func (p *Proc) Compute(d time.Duration) {

@@ -18,6 +18,10 @@ type message struct {
 	data    []byte
 	arrival int64
 	sentAt  int64 // sender's virtual clock at injection (telemetry latency)
+	// seq is the message's global arrival number in its receive queue,
+	// stamped by put: wildcard receives use it to pick the earliest match
+	// across the per-sender buckets.
+	seq uint64
 	// pclass is the sync.Pool class the message recycles through after the
 	// consuming receive (see bufpool.go); poolNone disables recycling.
 	pclass int8
@@ -34,25 +38,120 @@ func (m *message) matches(ctx, src, tag int) bool {
 // take until a match appears. An unbounded queue means Send never blocks on
 // the receiver, which keeps the virtual-time simulation deadlock-free for
 // programs that would deadlock only through rendezvous flow control.
+//
+// Messages are indexed by (ctx, src) bucket so a specific-source receive
+// matches without scanning unrelated traffic: an np-wide fan-in drained in
+// source order (the streamed gathers) would otherwise rescan the whole
+// backlog per receive — O(np²) match work at np = 65536. Wildcard receives
+// pick the bucket head with the lowest arrival seq, which is exactly the
+// first match the historical single-list scan would have returned.
+//
+// The blocking strategy depends on the world's engine: under the goroutine
+// engine a waiter parks on the condition variable; under the event engine
+// it parks with the central scheduler and a sender's put schedules the
+// wake-up on the virtual-time heap (engine.go).
 type msgQueue struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	items []*message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[uint64][]*message
+	seq     uint64 // next arrival number
+	count   int    // total queued
+	// owner is the process this queue belongs to (the only taker).
+	owner *Proc
 	// aborted points at the world's abort flag: when another rank fails,
 	// blocked receivers must wake up and bail out instead of hanging.
 	aborted *atomic.Bool
 }
 
-func (q *msgQueue) init(aborted *atomic.Bool) {
+// pairKey indexes a bucket. ctx and src are small non-negative ints, so
+// the packing is injective.
+func pairKey(ctx, src int) uint64 {
+	return uint64(uint32(ctx))<<32 | uint64(uint32(src))
+}
+
+func (q *msgQueue) init(owner *Proc, aborted *atomic.Bool) {
 	q.cond = sync.NewCond(&q.mu)
+	q.owner = owner
 	q.aborted = aborted
 }
 
 func (q *msgQueue) put(m *message) {
 	q.mu.Lock()
-	q.items = append(q.items, m)
+	if q.buckets == nil {
+		q.buckets = make(map[uint64][]*message)
+	}
+	m.seq = q.seq
+	q.seq++
+	k := pairKey(m.ctx, m.src)
+	q.buckets[k] = append(q.buckets[k], m)
+	q.count++
 	q.mu.Unlock()
 	q.cond.Broadcast()
+	if ev := q.owner.world.ev; ev != nil {
+		// Event engine: the caller is the current runner; make the parked
+		// owner runnable at the message's arrival time.
+		ev.noteArrival(q.owner, m)
+	}
+}
+
+// find locates the first queued match of (ctx, src, tag) — the earliest
+// arrival among matches, as in MPI matching order — without removing it.
+// Caller holds q.mu. A miss returns a nil message.
+func (q *msgQueue) find(ctx, src, tag int) (key uint64, idx int, m *message) {
+	if src != AnySource {
+		k := pairKey(ctx, src)
+		for i, c := range q.buckets[k] {
+			if tag == AnyTag || c.tag == tag {
+				return k, i, c
+			}
+		}
+		return 0, 0, nil
+	}
+	for k, b := range q.buckets {
+		if len(b) == 0 {
+			// Drained bucket kept for its append capacity; prune it here,
+			// off the specific-source fast path.
+			delete(q.buckets, k)
+			continue
+		}
+		if b[0].ctx != ctx {
+			continue
+		}
+		for i, c := range b {
+			if tag != AnyTag && c.tag != tag {
+				continue
+			}
+			// First tag match in a bucket is its earliest (FIFO per pair).
+			if m == nil || c.seq < m.seq {
+				key, idx, m = k, i, c
+			}
+			break
+		}
+	}
+	return key, idx, m
+}
+
+// removeAt takes message idx of bucket key out of the queue. Popping the
+// bucket head — the only case FIFO traffic produces — slides or truncates
+// the slice instead of copying the tail.
+func (q *msgQueue) removeAt(key uint64, idx int) *message {
+	b := q.buckets[key]
+	m := b[idx]
+	switch {
+	case idx == 0 && len(b) == 1:
+		// Keep the empty bucket and its capacity: a ping-pong pair would
+		// otherwise reallocate the bucket on every message.
+		b[0] = nil
+		b = b[:0]
+	case idx == 0:
+		b[0] = nil
+		b = b[1:]
+	default:
+		b = append(b[:idx], b[idx+1:]...)
+	}
+	q.buckets[key] = b
+	q.count--
+	return m
 }
 
 // take removes and returns the first queued message matching (c.ctx, src,
@@ -62,14 +161,14 @@ func (q *msgQueue) put(m *message) {
 // when the wait can never be satisfied because of a failure or revocation
 // (c.waitErr); a pending match is always delivered before either.
 func (q *msgQueue) take(c *Comm, src, tag int) (*message, error) {
+	if ev := q.owner.world.ev; ev != nil {
+		return q.takeEvent(ev, c, src, tag, -1)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
-		for i, m := range q.items {
-			if m.matches(c.ctx, src, tag) {
-				q.items = append(q.items[:i], q.items[i+1:]...)
-				return m, nil
-			}
+		if k, i, m := q.find(c.ctx, src, tag); m != nil {
+			return q.removeAt(k, i), nil
 		}
 		if q.aborted.Load() {
 			return nil, ErrAborted
@@ -81,10 +180,52 @@ func (q *msgQueue) take(c *Comm, src, tag int) (*message, error) {
 	}
 }
 
-// takeDeadline is take with a wall-clock deadline, after which it returns
-// ErrTimeout (RecvTimeout's engine; the timer allocation is off the
-// fault-free hot path).
+// takeEvent is the event-engine take (and takeDeadline, with deadlineAt ≥
+// 0 in virtual ns): instead of waiting on the condition variable, the
+// owner parks with the scheduler and re-scans on each wake-up. The queue
+// lock is never held across a park — the next runner may be a sender into
+// this very queue.
+func (q *msgQueue) takeEvent(ev *evScheduler, c *Comm, src, tag int, deadlineAt int64) (*message, error) {
+	for {
+		q.mu.Lock()
+		if k, i, m := q.find(c.ctx, src, tag); m != nil {
+			mm := q.removeAt(k, i)
+			q.mu.Unlock()
+			return mm, nil
+		}
+		q.mu.Unlock()
+		if q.aborted.Load() {
+			return nil, ErrAborted
+		}
+		if err := c.waitErr(src); err != nil {
+			return nil, err
+		}
+		if deadlineAt >= 0 && q.owner.clock >= deadlineAt {
+			return nil, timeoutErr("recv")
+		}
+		switch ev.parkRecv(q.owner, deadlineAt, c.ctx, src, tag) {
+		case evWakeTimeout:
+			// Advance to the deadline; a message that arrived exactly at
+			// it is still delivered by the re-scan, otherwise the check
+			// above returns ErrTimeout.
+			if deadlineAt > q.owner.clock {
+				q.owner.clock = deadlineAt
+			}
+		case evWakeDeadlock:
+			return nil, deadlockErr("recv")
+		}
+	}
+}
+
+// takeDeadline is take with a deadline, after which it returns ErrTimeout.
+// Under the goroutine engine the deadline is wall clock (a real timer);
+// under the event engine it is virtual — the wait expires when the owner's
+// virtual clock would reach now+d, which keeps timeouts deterministic and
+// replayable. The timer allocation is off the fault-free hot path.
 func (q *msgQueue) takeDeadline(c *Comm, src, tag int, d time.Duration) (*message, error) {
+	if ev := q.owner.world.ev; ev != nil {
+		return q.takeEvent(ev, c, src, tag, q.owner.clock+int64(d))
+	}
 	var expired atomic.Bool
 	timer := time.AfterFunc(d, func() {
 		// Flip the flag under the queue lock so a waiter between its
@@ -98,11 +239,8 @@ func (q *msgQueue) takeDeadline(c *Comm, src, tag int, d time.Duration) (*messag
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
-		for i, m := range q.items {
-			if m.matches(c.ctx, src, tag) {
-				q.items = append(q.items[:i], q.items[i+1:]...)
-				return m, nil
-			}
+		if k, i, m := q.find(c.ctx, src, tag); m != nil {
+			return q.removeAt(k, i), nil
 		}
 		if q.aborted.Load() {
 			return nil, ErrAborted
@@ -120,13 +258,14 @@ func (q *msgQueue) takeDeadline(c *Comm, src, tag int, d time.Duration) (*messag
 // peek blocks until a matching message is queued and returns it without
 // removing it (Probe); error semantics as in take.
 func (q *msgQueue) peek(c *Comm, src, tag int) (*message, error) {
+	if ev := q.owner.world.ev; ev != nil {
+		return q.peekEvent(ev, c, src, tag)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
-		for _, m := range q.items {
-			if m.matches(c.ctx, src, tag) {
-				return m, nil
-			}
+		if _, _, m := q.find(c.ctx, src, tag); m != nil {
+			return m, nil
 		}
 		if q.aborted.Load() {
 			return nil, ErrAborted
@@ -138,15 +277,34 @@ func (q *msgQueue) peek(c *Comm, src, tag int) (*message, error) {
 	}
 }
 
+// peekEvent is the event-engine peek: same park/re-scan protocol as
+// takeEvent, without removing the match.
+func (q *msgQueue) peekEvent(ev *evScheduler, c *Comm, src, tag int) (*message, error) {
+	for {
+		q.mu.Lock()
+		if _, _, m := q.find(c.ctx, src, tag); m != nil {
+			q.mu.Unlock()
+			return m, nil
+		}
+		q.mu.Unlock()
+		if q.aborted.Load() {
+			return nil, ErrAborted
+		}
+		if err := c.waitErr(src); err != nil {
+			return nil, err
+		}
+		if ev.parkRecv(q.owner, -1, c.ctx, src, tag) == evWakeDeadlock {
+			return nil, deadlockErr("probe")
+		}
+	}
+}
+
 // tryTake is take without blocking; ok reports whether a match was found.
 func (q *msgQueue) tryTake(ctx, src, tag int) (*message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for i, m := range q.items {
-		if m.matches(ctx, src, tag) {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			return m, true
-		}
+	if k, i, m := q.find(ctx, src, tag); m != nil {
+		return q.removeAt(k, i), true
 	}
 	return nil, false
 }
@@ -155,5 +313,5 @@ func (q *msgQueue) tryTake(ctx, src, tag int) (*message, bool) {
 func (q *msgQueue) pending() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.count
 }

@@ -196,16 +196,12 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 			return Status{}, false, err
 		}
 	}
-	// A nonblocking peek: reuse tryTake semantics without removal by
-	// peeking under the queue lock via tryTake+put would reorder; do a
-	// dedicated scan instead.
+	// A nonblocking peek: find without removal, under the queue lock.
 	q := &c.p.queue
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, m := range q.items {
-		if m.matches(c.ctx, src, tag) {
-			return Status{Source: m.src, Tag: m.tag, Size: m.size}, true, nil
-		}
+	if _, _, m := q.find(c.ctx, src, tag); m != nil {
+		return Status{Source: m.src, Tag: m.tag, Size: m.size}, true, nil
 	}
 	return Status{}, false, nil
 }

@@ -129,7 +129,7 @@ func TestQueueFIFOProperty(t *testing.T) {
 	f := func(order []bool) bool {
 		w := &World{}
 		q := msgQueue{}
-		q.init(&w.aborted)
+		q.init(&Proc{world: w}, &w.aborted)
 		seq := map[int]int{}
 		for _, fromA := range order {
 			src := 0
@@ -161,7 +161,7 @@ func TestQueueContextIsolationProperty(t *testing.T) {
 	f := func(ctxs []uint8) bool {
 		w := &World{}
 		q := msgQueue{}
-		q.init(&w.aborted)
+		q.init(&Proc{world: w}, &w.aborted)
 		count := map[int]int{}
 		for _, c := range ctxs {
 			ctx := int(c % 3)

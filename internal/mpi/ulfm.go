@@ -135,7 +135,10 @@ func (w *World) markSelfDead(p *Proc, op string) error {
 }
 
 // wakeAll re-evaluates everything that may be blocked on a failure or
-// revocation: queued receivers and pending agreements.
+// revocation: queued receivers and pending agreements. Always runs on a
+// rank's own goroutine (the one materializing a death or revoking), which
+// under the event engine is the current runner — so pushing wake-ups onto
+// the heap here is safe.
 func (w *World) wakeAll() {
 	for _, p := range w.procs {
 		p.queue.cond.Broadcast()
@@ -146,6 +149,9 @@ func (w *World) wakeAll() {
 	}
 	w.agreeCond.Broadcast()
 	w.agreeMu.Unlock()
+	if ev := w.ev; ev != nil {
+		ev.wakeAllBlocked()
+	}
 }
 
 // isRevoked reports whether the user context id has been revoked. Callers
@@ -313,6 +319,11 @@ func (w *World) trySeal(a *agreement) {
 	a.sealed = true
 	a.expect = len(a.got)
 	w.agreeCond.Broadcast()
+	if ev := w.ev; ev != nil {
+		// The sealer is the current runner; schedule the parked members at
+		// the agreement's synchronized clock.
+		ev.wakeRanks(a.group, a.clockMax)
+	}
 }
 
 // groupAgree runs one agreement instance for this process: contribute
@@ -335,6 +346,16 @@ func (w *World) groupAgree(key agreeKey, group []int, p *Proc, flag uint32) (and
 		if w.aborted.Load() {
 			w.agreeMu.Unlock()
 			return 0, -1, ErrAborted
+		}
+		if ev := w.ev; ev != nil {
+			// Event engine: drop the lock before parking — the next runner
+			// may be the member whose contribution seals this agreement.
+			w.agreeMu.Unlock()
+			if ev.park(p, -1) == evWakeDeadlock {
+				return 0, -1, deadlockErr("agree")
+			}
+			w.agreeMu.Lock()
+			continue
 		}
 		w.agreeCond.Wait()
 	}
@@ -473,11 +494,16 @@ func (c *Comm) Shrink() (*Comm, error) {
 	return nil, c.herr(failedErr("shrink", lastDead))
 }
 
-// RecvTimeout is Recv with a wall-clock deadline: if no matching message
-// arrives within d, it returns ErrTimeout without consuming anything. It
-// is the receiver-side tool for lossy links (a fault plan with DropProb):
-// a sender's message may never arrive, and the timeout turns that silence
+// RecvTimeout is Recv with a deadline: if no matching message arrives
+// within d, it returns ErrTimeout without consuming anything. It is the
+// receiver-side tool for lossy links (a fault plan with DropProb): a
+// sender's message may never arrive, and the timeout turns that silence
 // into an error the application can retry on.
+//
+// The deadline is wall clock under the goroutine engine and virtual under
+// the event engine (the wait expires when this rank's virtual clock would
+// reach now+d, advancing the clock to the deadline) — the event engine has
+// no wall time, which is what makes its runs replayable.
 func (c *Comm) RecvTimeout(src, tag int, buf []byte, d time.Duration) (Status, error) {
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)

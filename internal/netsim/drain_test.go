@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDrainEpochPartition checks the counter-epoch contract sequentially:
+// transfers before a drain are invisible after it, and the drained events
+// always match the epoch's traffic.
+func TestDrainEpochPartition(t *testing.T) {
+	m := PlaFRIM(2)
+	m.Contention = false
+	n, err := NewNetwork(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetEventLogging(true)
+
+	const size = 1 << 20 // rendezvous-sized inter-node transfer
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 5+epoch; i++ {
+			n.Transfer(0, 24, size, int64(i)) // node 0 -> node 1
+		}
+		if got, want := n.XmitData(0), int64(5+epoch)*size; got != want {
+			t.Fatalf("epoch %d: XmitData %d before drain, want %d", epoch, got, want)
+		}
+		events := n.DrainEvents()
+		if got, want := len(events), 5+epoch; got != want {
+			t.Fatalf("epoch %d: drained %d events, want %d", epoch, got, want)
+		}
+		if got := n.XmitData(0); got != 0 {
+			t.Fatalf("epoch %d: XmitData %d after drain, want 0", epoch, got)
+		}
+		if got := n.XmitPackets(0); got != 0 {
+			t.Fatalf("epoch %d: XmitPackets %d after drain, want 0", epoch, got)
+		}
+	}
+}
+
+// TestDrainEventsRace runs concurrent inter-node transfers against a
+// draining goroutine: the race detector (make ci runs this package under
+// -race) must stay quiet, and across all drains every event must appear
+// exactly once — no event lost to a drain racing an append, none
+// double-drained.
+func TestDrainEventsRace(t *testing.T) {
+	m := PlaFRIM(4)
+	n, err := NewNetwork(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetEventLogging(true)
+
+	const (
+		senders   = 3 // on nodes 0-2; the destination is node 3
+		perSender = 2000
+		size      = 4096
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				// src cores on nodes 0-2, dst on node 3: always
+				// inter-node, always counted and logged.
+				n.Transfer(core, 90, size, int64(i))
+			}
+		}(s * 24)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var drained int
+	go func() {
+		defer close(done)
+		for {
+			drained += len(n.DrainEvents())
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	drained += len(n.DrainEvents())
+
+	if want := senders * perSender; drained != want {
+		t.Fatalf("drained %d events across epochs, want %d", drained, want)
+	}
+	var left int64
+	for node := 0; node < 4; node++ {
+		left += n.XmitData(node)
+	}
+	if left != 0 {
+		t.Fatalf("counters not reset by final drain: %d bytes left", left)
+	}
+}
+
+// TestDrainVsToggleRace toggles event logging off and on while transfers
+// and drains run: the double-checked append means a post-toggle drain can
+// never see a straggler, so no event is ever duplicated and the final
+// count never exceeds the transfer count.
+func TestDrainVsToggleRace(t *testing.T) {
+	m := PlaFRIM(2)
+	n, err := NewNetwork(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetEventLogging(true)
+
+	const transfers = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < transfers; i++ {
+			n.Transfer(0, 24, 1024, int64(i))
+		}
+	}()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var drained int
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			if i%8 == 3 {
+				n.SetEventLogging(false)
+				n.SetEventLogging(true)
+			}
+			drained += len(n.DrainEvents())
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	drained += len(n.DrainEvents())
+
+	if drained > transfers {
+		t.Fatalf("drained %d events for %d transfers (duplication)", drained, transfers)
+	}
+}

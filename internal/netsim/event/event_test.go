@@ -1,0 +1,92 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestOrdering pushes a shuffled workload and checks items pop in exact
+// (time, rank, seq) order — the determinism contract of the event engine.
+func TestOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var q Queue
+	var want []Item
+	for i := 0; i < 5000; i++ {
+		it := Item{Time: int64(rng.Intn(50)), Rank: int32(rng.Intn(16))}
+		q.Push(it.Time, it.Rank, uint64(i), Wake)
+		it.ID = uint64(i)
+		it.Seq = uint64(i) // Push assigns seq in call order
+		want = append(want, it)
+	}
+	sort.SliceStable(want, func(i, j int) bool { return less(want[i], want[j]) })
+	for i, w := range want {
+		if q.Len() == 0 {
+			t.Fatalf("queue empty after %d pops, want %d items", i, len(want))
+		}
+		got := q.Pop()
+		if got != w {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue has %d leftover items", q.Len())
+	}
+}
+
+// TestTieBreak fixes the order of same-time items: rank first, then push
+// sequence within a rank.
+func TestTieBreak(t *testing.T) {
+	var q Queue
+	q.Push(100, 3, 0, Wake)
+	q.Push(100, 1, 1, Timeout)
+	q.Push(100, 1, 2, Wake)
+	q.Push(99, 7, 3, Wake)
+	order := []struct {
+		rank int32
+		id   uint64
+	}{{7, 3}, {1, 1}, {1, 2}, {3, 0}}
+	for i, w := range order {
+		got := q.Pop()
+		if got.Rank != w.rank || got.ID != w.id {
+			t.Fatalf("pop %d: got rank %d id %d, want rank %d id %d", i, got.Rank, got.ID, w.rank, w.id)
+		}
+	}
+}
+
+// TestInterleaved mixes pushes and pops and checks the pop sequence is
+// non-decreasing in heap order at every step. Items are pushed strictly
+// after the last popped time (as a simulation would: the running rank only
+// schedules future events), so monotone pops are the required behaviour.
+func TestInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var q Queue
+	var last Item
+	havePopped := false
+	pushed, popped := 0, 0
+	for step := 0; step < 20000; step++ {
+		if q.Len() == 0 || rng.Intn(3) != 0 {
+			q.Push(last.Time+1+int64(rng.Intn(100)), int32(rng.Intn(64)), uint64(pushed), Wake)
+			pushed++
+			continue
+		}
+		it := q.Pop()
+		popped++
+		if havePopped && less(it, last) {
+			t.Fatalf("pop went backwards: %+v after %+v", it, last)
+		}
+		last = it
+		havePopped = true
+	}
+	for q.Len() > 0 {
+		it := q.Pop()
+		popped++
+		if less(it, last) {
+			t.Fatalf("drain went backwards: %+v after %+v", it, last)
+		}
+		last = it
+	}
+	if pushed != popped {
+		t.Fatalf("pushed %d items, popped %d", pushed, popped)
+	}
+}

@@ -270,18 +270,36 @@ func (n *Network) Machine() *Machine { return n.mach }
 
 // SetEventLogging toggles recording of per-transfer XmitEvents (used by the
 // hardware-counter experiments; off by default to keep the fast path lean).
-func (n *Network) SetEventLogging(on bool) { n.logging.Store(on) }
+// The toggle is ordered with the log: flipping it off under the log lock
+// guarantees no transfer appends an event after a subsequent DrainEvents
+// returned.
+func (n *Network) SetEventLogging(on bool) {
+	n.logMu.Lock()
+	n.logging.Store(on)
+	n.logMu.Unlock()
+}
 
 // SetWaitObserver installs (or removes, with nil) the NIC busy-wait
 // observer. Must be called before the simulation runs.
 func (n *Network) SetWaitObserver(fn func(node int, waitNs int64)) { n.waitObs = fn }
 
-// DrainEvents returns and clears the recorded transmit events.
+// DrainEvents returns and clears the recorded transmit events and starts a
+// new NIC counter epoch: the per-shard transmit counters are reset along
+// with the log, so XmitData/XmitPackets always cover the same window as the
+// drained events and per-epoch sums add up to the run's total. Each shard
+// resets with an atomic swap — a transfer racing the drain lands its bytes
+// wholly in one epoch or the other, never split or lost.
 func (n *Network) DrainEvents() []XmitEvent {
 	n.logMu.Lock()
 	defer n.logMu.Unlock()
 	out := n.eventLog
 	n.eventLog = nil
+	for i := range n.nics {
+		for s := range n.nics[i].shards {
+			n.nics[i].shards[s].xmitData.Swap(0)
+			n.nics[i].shards[s].xmitPkts.Swap(0)
+		}
+	}
 	return out
 }
 
@@ -352,7 +370,11 @@ func (n *Network) TransferF(src, dst int, size int, now int64) (senderFree, arri
 		sh.xmitPkts.Add(1)
 		if n.logging.Load() {
 			n.logMu.Lock()
-			n.eventLog = append(n.eventLog, XmitEvent{Node: node, When: end, Bytes: int64(size)})
+			// Re-check under the lock: SetEventLogging(false) + DrainEvents
+			// (both lock-ordered) must not see a straggler append.
+			if n.logging.Load() {
+				n.eventLog = append(n.eventLog, XmitEvent{Node: node, When: end, Bytes: int64(size)})
+			}
 			n.logMu.Unlock()
 		}
 	}

@@ -93,7 +93,8 @@ type Monitor struct {
 	recorders atomic.Pointer[[]Recorder]
 
 	// counts[class][dst] and bytes[class][dst], flat to keep allocation
-	// count low; accessed with atomics.
+	// count low; accessed with atomics. nil when the monitor uses the
+	// sparse backend (n > DenseLimit).
 	counts []uint64
 	bytes  []uint64
 
@@ -108,18 +109,46 @@ type Monitor struct {
 	touchBits  []uint32
 	touchList  []int32
 	touchLen   [NumClasses]atomic.Int64
+
+	// sp is the sparse backend, non-nil iff n > DenseLimit: per-class maps
+	// keyed by destination, sized by peers actually touched. A dense
+	// monitor costs ~56 bytes per world rank per process — 3.4 GiB/rank at
+	// np = 65536 — while real applications talk to O(degree) neighbours;
+	// the sparse backend makes per-process monitoring memory O(touched).
+	sp []spClass
+}
+
+// DenseLimit is the world size above which NewMonitor switches from the
+// flat atomic arrays to the sparse map backend. Exported as a variable so
+// scale tests can force either backend.
+var DenseLimit = 4096
+
+// spClass is one communication class of the sparse backend. A mutex (not
+// atomics) guards the map: the monitor belongs to one process, so writes
+// never contend in practice, and readers are rare gather-time operations.
+type spClass struct {
+	mu    sync.Mutex
+	cells map[int32]*spCell
+	order []int32 // first-touch order, mirroring touchList
+}
+
+// spCell holds the two counters of one (class, destination) pair.
+type spCell struct {
+	cnt, byt uint64
 }
 
 // NewMonitor builds a monitor for a world of n ranks at the given level.
 func NewMonitor(n int, level Level) *Monitor {
-	words := (n + 31) / 32
-	m := &Monitor{
-		n:          n,
-		counts:     make([]uint64, int(NumClasses)*n),
-		bytes:      make([]uint64, int(NumClasses)*n),
-		touchWords: words,
-		touchBits:  make([]uint32, int(NumClasses)*words),
-		touchList:  make([]int32, int(NumClasses)*n),
+	m := &Monitor{n: n}
+	if n > DenseLimit {
+		m.sp = make([]spClass, NumClasses)
+	} else {
+		words := (n + 31) / 32
+		m.counts = make([]uint64, int(NumClasses)*n)
+		m.bytes = make([]uint64, int(NumClasses)*n)
+		m.touchWords = words
+		m.touchBits = make([]uint32, int(NumClasses)*words)
+		m.touchList = make([]int32, int(NumClasses)*n)
 	}
 	m.level.Store(int32(level))
 	return m
@@ -220,16 +249,33 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 	if m.suppress.Load() > 0 {
 		return
 	}
-	i := int(class)*m.n + dst
-	atomic.AddUint64(&m.counts[i], 1)
-	atomic.AddUint64(&m.bytes[i], uint64(size))
-	// First touch of (class, dst): publish it on the touched list. The
-	// common case (already touched) costs one extra atomic load.
-	w := &m.touchBits[int(class)*m.touchWords+dst>>5]
-	bit := uint32(1) << uint(dst&31)
-	if atomic.LoadUint32(w)&bit == 0 && orUint32(w, bit)&bit == 0 {
-		k := m.touchLen[class].Add(1) - 1
-		atomic.StoreInt32(&m.touchList[int(class)*m.n+int(k)], int32(dst)+1)
+	if m.sp != nil {
+		c := &m.sp[class]
+		c.mu.Lock()
+		cell := c.cells[int32(dst)]
+		if cell == nil {
+			if c.cells == nil {
+				c.cells = make(map[int32]*spCell)
+			}
+			cell = &spCell{}
+			c.cells[int32(dst)] = cell
+			c.order = append(c.order, int32(dst))
+		}
+		cell.cnt++
+		cell.byt += uint64(size)
+		c.mu.Unlock()
+	} else {
+		i := int(class)*m.n + dst
+		atomic.AddUint64(&m.counts[i], 1)
+		atomic.AddUint64(&m.bytes[i], uint64(size))
+		// First touch of (class, dst): publish it on the touched list. The
+		// common case (already touched) costs one extra atomic load.
+		w := &m.touchBits[int(class)*m.touchWords+dst>>5]
+		bit := uint32(1) << uint(dst&31)
+		if atomic.LoadUint32(w)&bit == 0 && orUint32(w, bit)&bit == 0 {
+			k := m.touchLen[class].Add(1) - 1
+			atomic.StoreInt32(&m.touchList[int(class)*m.n+int(k)], int32(dst)+1)
+		}
 	}
 	if rs := m.recorders.Load(); rs != nil {
 		for _, r := range *rs {
@@ -241,17 +287,29 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 // Counts copies the per-destination message counts of one class into out,
 // which must have length Size().
 func (m *Monitor) Counts(class Class, out []uint64) {
-	m.copyRow(m.counts, class, out)
+	m.copyRow(m.counts, class, out, false)
 }
 
 // Bytes copies the per-destination byte counts of one class into out.
 func (m *Monitor) Bytes(class Class, out []uint64) {
-	m.copyRow(m.bytes, class, out)
+	m.copyRow(m.bytes, class, out, true)
 }
 
-func (m *Monitor) copyRow(row []uint64, class Class, out []uint64) {
+func (m *Monitor) copyRow(row []uint64, class Class, out []uint64, wantBytes bool) {
 	if len(out) != m.n {
 		panic(fmt.Sprintf("pml: output slice has length %d, want %d", len(out), m.n))
+	}
+	if m.sp != nil {
+		for j := range out {
+			out[j] = 0
+		}
+		c := &m.sp[class]
+		c.mu.Lock()
+		for dst, cell := range c.cells {
+			out[dst] = cell.load(wantBytes)
+		}
+		c.mu.Unlock()
+		return
 	}
 	base := int(class) * m.n
 	for j := 0; j < m.n; j++ {
@@ -259,11 +317,29 @@ func (m *Monitor) copyRow(row []uint64, class Class, out []uint64) {
 	}
 }
 
+// load returns one of the cell's two counters; must hold the class mutex.
+func (c *spCell) load(wantBytes bool) uint64 {
+	if wantBytes {
+		return c.byt
+	}
+	return c.cnt
+}
+
 // Touched returns the destination ranks with any traffic recorded for the
 // class since the monitor was created (or last Reset), in first-touch
 // order. The result is a fresh slice; its length is the number of peers
 // touched, so callers iterating it pay O(touched), not O(world).
 func (m *Monitor) Touched(class Class) []int {
+	if m.sp != nil {
+		c := &m.sp[class]
+		c.mu.Lock()
+		out := make([]int, len(c.order))
+		for i, dst := range c.order {
+			out[i] = int(dst)
+		}
+		c.mu.Unlock()
+		return out
+	}
 	k := int(m.touchLen[class].Load())
 	out := make([]int, 0, k)
 	base := int(class) * m.n
@@ -281,18 +357,35 @@ func (m *Monitor) Touched(class Class) []int {
 // CountsAt reads the message counters of one class at the given
 // destinations into out (parallel to peers).
 func (m *Monitor) CountsAt(class Class, peers []int, out []uint64) {
-	m.copyAt(m.counts, class, peers, out)
+	m.copyAt(m.counts, class, peers, out, false)
 }
 
 // BytesAt reads the byte counters of one class at the given destinations
 // into out (parallel to peers).
 func (m *Monitor) BytesAt(class Class, peers []int, out []uint64) {
-	m.copyAt(m.bytes, class, peers, out)
+	m.copyAt(m.bytes, class, peers, out, true)
 }
 
-func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64) {
+func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64, wantBytes bool) {
 	if len(out) != len(peers) {
 		panic(fmt.Sprintf("pml: output slice has length %d for %d peers", len(out), len(peers)))
+	}
+	if m.sp != nil {
+		c := &m.sp[class]
+		c.mu.Lock()
+		for i, p := range peers {
+			if p < 0 || p >= m.n {
+				c.mu.Unlock()
+				panic(fmt.Sprintf("pml: peer %d outside world of %d", p, m.n))
+			}
+			if cell := c.cells[int32(p)]; cell != nil {
+				out[i] = cell.load(wantBytes)
+			} else {
+				out[i] = 0
+			}
+		}
+		c.mu.Unlock()
+		return
 	}
 	base := int(class) * m.n
 	for i, p := range peers {
@@ -306,6 +399,15 @@ func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64) {
 // TotalBytes returns the total bytes recorded for one class.
 func (m *Monitor) TotalBytes(class Class) uint64 {
 	var s uint64
+	if m.sp != nil {
+		c := &m.sp[class]
+		c.mu.Lock()
+		for _, cell := range c.cells {
+			s += cell.byt
+		}
+		c.mu.Unlock()
+		return s
+	}
 	base := int(class) * m.n
 	for j := 0; j < m.n; j++ {
 		s += atomic.LoadUint64(&m.bytes[base+j])
@@ -315,6 +417,16 @@ func (m *Monitor) TotalBytes(class Class) uint64 {
 
 // Reset zeroes every counter and forgets the touched peers.
 func (m *Monitor) Reset() {
+	if m.sp != nil {
+		for cl := range m.sp {
+			c := &m.sp[cl]
+			c.mu.Lock()
+			c.cells = nil
+			c.order = nil
+			c.mu.Unlock()
+		}
+		return
+	}
 	for i := range m.counts {
 		atomic.StoreUint64(&m.counts[i], 0)
 		atomic.StoreUint64(&m.bytes[i], 0)

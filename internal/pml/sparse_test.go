@@ -1,0 +1,123 @@
+package pml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// forceSparse runs f with DenseLimit lowered so a monitor of any size uses
+// the sparse backend.
+func forceSparse(t *testing.T, f func()) {
+	t.Helper()
+	old := DenseLimit
+	DenseLimit = 0
+	defer func() { DenseLimit = old }()
+	f()
+}
+
+// TestSparseMatchesDense drives a dense and a sparse monitor with the same
+// recorded workload and requires every reader to agree: the backend is an
+// implementation detail.
+func TestSparseMatchesDense(t *testing.T) {
+	const n = 300
+	dense := NewMonitor(n, Distinct)
+	var sparse *Monitor
+	forceSparse(t, func() { sparse = NewMonitor(n, Distinct) })
+	if dense.sp != nil {
+		t.Fatal("dense monitor unexpectedly sparse")
+	}
+	if sparse.sp == nil {
+		t.Fatal("sparse monitor unexpectedly dense")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		class := Class(rng.Intn(int(NumClasses)))
+		dst := rng.Intn(20) * 15 // a sparse destination set
+		size := rng.Intn(1 << 12)
+		when := int64(i)
+		dense.Record(class, dst, size, when)
+		sparse.Record(class, dst, size, when)
+	}
+
+	for class := Class(0); class < NumClasses; class++ {
+		dc, sc := make([]uint64, n), make([]uint64, n)
+		dense.Counts(class, dc)
+		sparse.Counts(class, sc)
+		db, sb := make([]uint64, n), make([]uint64, n)
+		dense.Bytes(class, db)
+		sparse.Bytes(class, sb)
+		for j := 0; j < n; j++ {
+			if dc[j] != sc[j] || db[j] != sb[j] {
+				t.Fatalf("class %v dst %d: dense (%d msgs, %d B) != sparse (%d msgs, %d B)",
+					class, j, dc[j], db[j], sc[j], sb[j])
+			}
+		}
+		if d, s := dense.TotalBytes(class), sparse.TotalBytes(class); d != s {
+			t.Fatalf("class %v TotalBytes: dense %d != sparse %d", class, d, s)
+		}
+		dt, st := dense.Touched(class), sparse.Touched(class)
+		if len(dt) != len(st) {
+			t.Fatalf("class %v touched: dense %d peers != sparse %d", class, len(dt), len(st))
+		}
+		for i := range dt {
+			if dt[i] != st[i] {
+				t.Fatalf("class %v touched[%d]: dense %d != sparse %d (first-touch order must match)",
+					class, i, dt[i], st[i])
+			}
+		}
+		dAt, sAt := make([]uint64, len(dt)), make([]uint64, len(st))
+		dense.CountsAt(class, dt, dAt)
+		sparse.CountsAt(class, st, sAt)
+		for i := range dAt {
+			if dAt[i] != sAt[i] {
+				t.Fatalf("class %v CountsAt[%d]: dense %d != sparse %d", class, i, dAt[i], sAt[i])
+			}
+		}
+		dense.BytesAt(class, dt, dAt)
+		sparse.BytesAt(class, st, sAt)
+		for i := range dAt {
+			if dAt[i] != sAt[i] {
+				t.Fatalf("class %v BytesAt[%d]: dense %d != sparse %d", class, i, dAt[i], sAt[i])
+			}
+		}
+	}
+
+	dense.Reset()
+	sparse.Reset()
+	for class := Class(0); class < NumClasses; class++ {
+		if got := sparse.Touched(class); len(got) != 0 {
+			t.Fatalf("class %v touched after Reset: %v", class, got)
+		}
+		if got := sparse.TotalBytes(class); got != 0 {
+			t.Fatalf("class %v TotalBytes after Reset: %d", class, got)
+		}
+	}
+	// Recording after Reset re-creates the lazy map.
+	sparse.Record(P2P, 7, 42, 0)
+	if got := sparse.Touched(P2P); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("touched after Reset+Record: %v", got)
+	}
+}
+
+// TestSparseMemoryScales checks the point of the sparse backend: a monitor
+// for a 65536-rank world with a bounded peer set must not allocate O(np).
+func TestSparseMemoryScales(t *testing.T) {
+	m := NewMonitor(1 << 16, Distinct)
+	if m.sp == nil {
+		t.Fatal("monitor for 65536 ranks should use the sparse backend")
+	}
+	for p := 0; p < 8; p++ {
+		m.Record(P2P, p*1000, 100, 0)
+	}
+	if got := len(m.Touched(P2P)); got != 8 {
+		t.Fatalf("touched %d peers, want 8", got)
+	}
+	out := make([]uint64, 8)
+	m.CountsAt(P2P, m.Touched(P2P), out)
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("peer %d count %d, want 1", i, v)
+		}
+	}
+}
