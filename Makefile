@@ -3,6 +3,7 @@ BENCHOUT ?= results/BENCH_hotpath.json
 GATHEROUT ?= results/BENCH_gather.json
 SERVEOUT ?= results/BENCH_serve.json
 ENGINEOUT ?= results/BENCH_engine.json
+COMMITOUT ?= results/BENCH_commitagg.json
 
 .PHONY: build test vet race bench benchsmoke ci
 
@@ -19,9 +20,11 @@ test:
 # the telemetry layer instruments, the pooled message buffers, the sharded
 # NIC counters, the parallel TreeMatch partitioner, the fault-injection
 # / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree),
-# and the monitoring daemon's concurrent ingest/read service.
+# the monitoring daemon's concurrent ingest/read service, and the
+# commit-on-threshold aggregation layer (concurrent producers vs forced
+# barrier flushes) with the pml fold it fronts.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc ./internal/commitagg ./internal/pml
 
 # bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
 # allocation rate), the TreeMatch kernels, and the collective layer — and
@@ -44,7 +47,12 @@ bench:
 	tmp4=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench '^BenchmarkEventEngine$$' -benchtime 1x -benchmem -timeout 30m . | tee -a $$tmp4 && \
 	$(GO) run ./cmd/benchjson -out $(ENGINEOUT) < $$tmp4 && \
-	rm -f $$tmp4 && echo "wrote $(ENGINEOUT)"
+	rm -f $$tmp4 && echo "wrote $(ENGINEOUT)" && \
+	tmp5=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench '^BenchmarkCommitAgg' -benchmem ./internal/commitagg | tee -a $$tmp5 && \
+	$(GO) test -run '^$$' -bench '^BenchmarkCommitAggRowExport$$' -benchmem ./internal/monitoring | tee -a $$tmp5 && \
+	$(GO) run ./cmd/benchjson -out $(COMMITOUT) < $$tmp5 && \
+	rm -f $$tmp5 && echo "wrote $(COMMITOUT)"
 
 # benchsmoke compiles and runs every benchmark exactly once so the harness
 # cannot bit-rot; it measures nothing.

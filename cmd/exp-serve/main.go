@@ -27,6 +27,7 @@ func main() {
 	msg := flag.Int("msg", exp.DefaultServe.MsgBytes, "base halo message size in bytes (skeleton)")
 	daemon := flag.String("daemon", "", "base URL of an external mpimond (empty: in-process daemon)")
 	engine := flag.String("engine", "auto", "execution engine: goroutine, event, or auto (event above 8192 ranks)")
+	exportTh := flag.Int("export-threshold", 0, "row-export commit threshold: 0 batches one epoch per frame, <0 exports eagerly per row, >0 sets the threshold")
 	flag.Parse()
 	if err := exp.EngineSetup(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "exp-serve:", err)
@@ -37,6 +38,7 @@ func main() {
 	cfg.Worlds, cfg.NP, cfg.Epochs = *worlds, *np, *epochs
 	cfg.Retention, cfg.Iters, cfg.MsgBytes = *retention, *iters, *msg
 	cfg.BaseURL = *daemon
+	cfg.ExportThreshold = *exportTh
 	res, err := exp.Serve(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "exp-serve:", err)

@@ -1,0 +1,155 @@
+package commitagg
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestThresholdTrigger(t *testing.T) {
+	s := NewShard(Policy{Threshold: 4, IntervalNs: -1})
+	var sunk int64
+	c := s.NewCell(func(d int64) { sunk += d })
+	for i := 0; i < 3; i++ {
+		s.Add(c, 1, 0)
+	}
+	if sunk != 0 {
+		t.Fatalf("sink saw %d before the threshold", sunk)
+	}
+	s.Add(c, 1, 0)
+	if sunk != 4 {
+		t.Fatalf("sink saw %d after 4 updates at threshold 4, want 4", sunk)
+	}
+	st := s.Stats()
+	if st.Updates != 4 || st.Commits != 1 || st.Folds != 1 {
+		t.Fatalf("stats = %+v, want 4 updates / 1 commit / 1 fold", st)
+	}
+}
+
+func TestIntervalTrigger(t *testing.T) {
+	s := NewShard(Policy{Threshold: 1 << 30, IntervalNs: 100})
+	var sunk int64
+	c := s.NewCell(func(d int64) { sunk += d })
+	s.Add(c, 5, 10) // 10-0 < 100: no commit
+	if sunk != 0 {
+		t.Fatalf("sink saw %d before the interval elapsed", sunk)
+	}
+	s.Add(c, 5, 120) // 120-0 >= 100: commit
+	if sunk != 10 {
+		t.Fatalf("sink saw %d after interval commit, want 10", sunk)
+	}
+	// The interval phase restarts at the commit clock.
+	s.Add(c, 1, 190)
+	if sunk != 10 {
+		t.Fatalf("sink saw %d inside the second window, want 10", sunk)
+	}
+	s.Add(c, 1, 220)
+	if sunk != 12 {
+		t.Fatalf("sink saw %d after the second window, want 12", sunk)
+	}
+}
+
+func TestForcedFlush(t *testing.T) {
+	s := NewShard(Policy{Threshold: 1 << 30, IntervalNs: -1})
+	var a, b int64
+	ca := s.NewCell(func(d int64) { a += d })
+	cb := s.NewCell(func(d int64) { b += d })
+	s.Add(ca, 7, 0)
+	s.Add(cb, 3, 0)
+	s.Flush()
+	if a != 7 || b != 3 {
+		t.Fatalf("after Flush a=%d b=%d, want 7/3", a, b)
+	}
+	// Idempotent: nothing pending, nothing folds.
+	s.Flush()
+	if st := s.Stats(); st.Folds != 2 {
+		t.Fatalf("folds = %d after empty flush, want 2", st.Folds)
+	}
+}
+
+func TestSelfNegatingUpdatesCancel(t *testing.T) {
+	s := NewShard(Policy{Threshold: 1 << 30, IntervalNs: -1})
+	calls := 0
+	c := s.NewCell(func(d int64) { calls++ })
+	s.Add(c, 1, 0)
+	s.Add(c, -1, 0)
+	s.Flush()
+	if calls != 0 {
+		t.Fatalf("self-negated cell reached its sink %d times", calls)
+	}
+	st := s.Stats()
+	if st.Updates != 2 || st.Folds != 0 {
+		t.Fatalf("stats = %+v, want 2 updates and 0 folds", st)
+	}
+}
+
+func TestEagerPolicyCommitsEveryUpdate(t *testing.T) {
+	s := NewShard(Eager)
+	var deltas []int64
+	c := s.NewCell(func(d int64) { deltas = append(deltas, d) })
+	s.Add(c, 2, 0)
+	s.Add(c, 3, 0)
+	if len(deltas) != 2 || deltas[0] != 2 || deltas[1] != 3 {
+		t.Fatalf("eager deltas = %v, want [2 3]", deltas)
+	}
+}
+
+func TestPolicyNormalization(t *testing.T) {
+	if p := (Policy{}).Norm(); p.Threshold != DefaultThreshold || p.IntervalNs != DefaultIntervalNs {
+		t.Fatalf("zero policy normalized to %+v", p)
+	}
+	if !(Policy{Threshold: -3}).Eager() {
+		t.Fatal("negative threshold should normalize to eager")
+	}
+	if (Policy{Threshold: 2}).Eager() {
+		t.Fatal("threshold 2 is not eager")
+	}
+	if got := (Policy{Threshold: 8, IntervalNs: 50}).String(); got != "threshold=8 interval=50ns" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBarrierExactness(t *testing.T) {
+	// The core contract: after a forced commit, totals are bit-identical
+	// to the eager path regardless of policy.
+	for _, pol := range []Policy{Eager, Default(), {Threshold: 7, IntervalNs: 300}} {
+		s := NewShard(pol)
+		var total int64
+		c := s.NewCell(func(d int64) { total += d })
+		var want int64
+		for i := 0; i < 1000; i++ {
+			d := int64(i%13 - 6)
+			want += d
+			s.Add(c, d, int64(i)*37)
+		}
+		s.Flush()
+		if total != want {
+			t.Fatalf("policy %v: total %d after barrier, want %d", pol, total, want)
+		}
+	}
+}
+
+func TestStatsRatio(t *testing.T) {
+	st := Stats{Updates: 1000, Commits: 4, Folds: 8}
+	if r := st.UpdatesPerFold(); r != 125 {
+		t.Fatalf("UpdatesPerFold = %v, want 125", r)
+	}
+	if r := (Stats{Updates: 10}).UpdatesPerFold(); r != 10 {
+		t.Fatalf("fold-free ratio = %v, want 10", r)
+	}
+	sum := st.Add(Stats{Updates: 1, Commits: 1, Folds: 1})
+	if sum.Updates != 1001 || sum.Commits != 5 || sum.Folds != 9 {
+		t.Fatalf("Stats.Add = %+v", sum)
+	}
+}
+
+func TestCellPadding(t *testing.T) {
+	// Adjacent cells must not share a cache line — that contention is
+	// the whole point of the layer.
+	if sz := unsafe.Sizeof(Cell{}); sz%64 != 0 {
+		t.Fatalf("Cell size %d is not a multiple of 64", sz)
+	}
+	var c Cell
+	if off := unsafe.Offsetof(c.pending); off%8 != 0 {
+		t.Fatalf("pending misaligned at offset %d", off)
+	}
+}

@@ -1,0 +1,141 @@
+package commitagg
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentProducersAndFlush drives many producer goroutines into
+// the same shard while another goroutine forces commits — the
+// scrape-during-run scenario. Under -race this pins the lock-free cell
+// protocol; the final barrier commit must still be exact.
+func TestConcurrentProducersAndFlush(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 20000
+	)
+	s := NewShard(Policy{Threshold: 64, IntervalNs: -1})
+	var total atomic.Int64
+	c := s.NewCell(func(d int64) { total.Add(d) })
+
+	stop := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Flush()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s.Add(c, 1, int64(i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	flusher.Wait()
+	s.Flush()
+
+	if got := total.Load(); got != producers*perProd {
+		t.Fatalf("total %d after concurrent adds+flushes, want %d", got, producers*perProd)
+	}
+	if st := s.Stats(); st.Updates != producers*perProd {
+		t.Fatalf("stats updates %d, want %d", st.Updates, producers*perProd)
+	}
+}
+
+// TestConcurrentShards runs one shard per producer (the per-rank layout
+// the runtime uses) folding into one shared sink, with a concurrent
+// global flusher sweeping all shards — the registry-flusher pattern.
+func TestConcurrentShards(t *testing.T) {
+	const (
+		shards  = 16
+		perProd = 10000
+	)
+	var total atomic.Int64
+	sink := func(d int64) { total.Add(d) }
+	ss := make([]*Shard, shards)
+	cells := make([]*Cell, shards)
+	for i := range ss {
+		ss[i] = NewShard(Default())
+		cells[i] = ss[i].NewCell(sink)
+	}
+
+	stop := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range ss {
+					s.Flush()
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perProd; k++ {
+				ss[i].Add(cells[i], 2, int64(k))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	flusher.Wait()
+	for _, s := range ss {
+		s.Flush()
+	}
+	if got := total.Load(); got != 2*shards*perProd {
+		t.Fatalf("total %d, want %d", got, 2*shards*perProd)
+	}
+}
+
+// TestConcurrentCellRegistration registers cells while producers run on
+// existing ones (sessions starting mid-run).
+func TestConcurrentCellRegistration(t *testing.T) {
+	s := NewShard(Policy{Threshold: 8, IntervalNs: -1})
+	var total atomic.Int64
+	first := s.NewCell(func(d int64) { total.Add(d) })
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			s.Add(first, 1, 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c := s.NewCell(func(d int64) { total.Add(d) })
+			s.Add(c, 1, 0)
+		}
+	}()
+	wg.Wait()
+	s.Flush()
+	if got := total.Load(); got != 5100 {
+		t.Fatalf("total %d, want 5100", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"mpimon/internal/commitagg"
 	"mpimon/internal/monitoring"
 	"mpimon/internal/monsvc"
 	"mpimon/internal/mpi"
@@ -46,6 +47,12 @@ type ServeConfig struct {
 	// BaseURL targets an external daemon (e.g. a running mpimond). Empty
 	// starts an in-process daemon on a loopback listener.
 	BaseURL string
+	// ExportThreshold configures the batched row export: 0 batches one
+	// epoch per frame (threshold = NP, so the world's last Suspend of an
+	// epoch pushes everyone's rows in a single request), a positive value
+	// is used as the commit threshold directly, and a negative value
+	// restores the eager per-(rank, epoch) push path.
+	ExportThreshold int
 }
 
 // DefaultServe is the acceptance configuration: 8 worlds, 4 epochs with
@@ -199,6 +206,24 @@ func serveOneWorld(wi, gx int, base string, httpc *http.Client, cfg ServeConfig)
 	}
 	msgBytes := cfg.MsgBytes + 64*wi
 
+	// One batching exporter per world, shared by all ranks: a world's
+	// Suspends for an epoch coalesce into one ingest frame instead of np
+	// requests. Threshold-only (the interval default is wall-clock, far
+	// shorter than a simulated epoch); epochs always flush ascending, so
+	// the daemon's retention watermark stays monotonic. Eager per-row
+	// export remains available for A/B comparison.
+	exporter := monitoring.RowExporter(client.ExportRow)
+	var batch *monitoring.BatchingRowExporter
+	if cfg.ExportThreshold >= 0 {
+		th := cfg.ExportThreshold
+		if th == 0 {
+			th = np
+		}
+		batch = monitoring.NewBatchingRowExporter(client.ExportRowBatch,
+			commitagg.Policy{Threshold: th, IntervalNs: -1})
+		exporter = batch.Export
+	}
+
 	w, err := PlaFRIMWorld(np, nil)
 	if err != nil {
 		return ServeWorldRow{}, err
@@ -217,7 +242,7 @@ func serveOneWorld(wi, gx int, base string, httpc *http.Client, cfg ServeConfig)
 		if err != nil {
 			return err
 		}
-		s.SetRowExporter(client.ExportRow)
+		s.SetRowExporter(exporter)
 		for e := 0; e < cfg.Epochs; e++ {
 			if err := StencilSkeleton(c, gx, cfg.Iters+e, msgBytes); err != nil {
 				return err
@@ -248,6 +273,13 @@ func serveOneWorld(wi, gx int, base string, httpc *http.Client, cfg ServeConfig)
 	})
 	if err != nil {
 		return ServeWorldRow{}, err
+	}
+	// Barrier before reading the daemon's matrices: any rows still
+	// pending in the batching exporter must be on the daemon first.
+	if batch != nil {
+		if err := batch.Flush(); err != nil {
+			return ServeWorldRow{}, err
+		}
 	}
 
 	row := ServeWorldRow{World: wi, Job: client.JobID, NP: np, EpochsPushed: cfg.Epochs}

@@ -112,6 +112,21 @@ func (c *Client) ExportRow(epoch uint64, rank, n int, row sparsemat.Row) error {
 	return c.PushRow(epoch, rank, row)
 }
 
+// ExportRowBatch matches monitoring.RowBatchSink: one epoch's coalesced
+// rows travel as a single ingest frame in a single request, so a
+// batching exporter shared by a world turns per-(rank, epoch) pushes
+// into per-epoch ones. The call is atomic with respect to the daemon — a
+// failed request ingests nothing — which is what makes a retry of the
+// same batch exact.
+func (c *Client) ExportRowBatch(epoch uint64, n int, ranks []int, rows []sparsemat.Row) error {
+	rr := make([]RankRow, len(ranks))
+	for i, r := range ranks {
+		rr[i] = RankRow{Rank: int32(r), Row: rows[i]}
+	}
+	_, err := c.PushRows(epoch, rr)
+	return err
+}
+
 // Matrix fetches the job's matrix for an epoch selector ("", "latest",
 // "cumulative" or a decimal epoch) and returns it as a sparse matrix,
 // whichever representation the server chose on the wire.

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpimon/internal/commitagg"
 	"mpimon/internal/faults"
 	"mpimon/internal/netsim"
 	"mpimon/internal/pml"
@@ -44,6 +45,11 @@ type World struct {
 	procs     []*Proc
 	level     pml.Level
 	tel       *telemetry.Telemetry
+
+	// aggPol is the commit-on-threshold policy of the batched hot-path
+	// accumulators (telemetry message counters, pml pending folds); see
+	// WithCommitPolicy.
+	aggPol commitagg.Policy
 
 	// eng is the execution engine (engine.go); ev is non-nil while (and
 	// after) Run executes on the event engine.
@@ -111,6 +117,20 @@ func WithMonitoringLevel(l pml.Level) Option {
 	return func(w *World) { w.level = l }
 }
 
+// WithCommitPolicy sets the commit-on-threshold policy of the world's
+// batched accumulators: the per-rank telemetry message/byte counter
+// cells and the pml monitor's pending session folds. The default is
+// commitagg.Default(); commitagg.Eager commits every update immediately,
+// reproducing the unbatched path bit for bit (the policy changes when
+// data moves, never what the barriers — gathers, Suspends, scrapes —
+// observe).
+func WithCommitPolicy(p commitagg.Policy) Option {
+	return func(w *World) { w.aggPol = p }
+}
+
+// CommitPolicy returns the world's normalized batching policy.
+func (w *World) CommitPolicy() commitagg.Policy { return w.aggPol }
+
 // NewWorld creates a world of np ranks on the given machine.
 func NewWorld(mach *netsim.Machine, np int, opts ...Option) (*World, error) {
 	if np <= 0 {
@@ -120,7 +140,7 @@ func NewWorld(mach *netsim.Machine, np int, opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &World{mach: mach, net: net, size: np, level: pml.Distinct, ctxKeys: make(map[splitKey]int), ctxSeq: 1}
+	w := &World{mach: mach, net: net, size: np, level: pml.Distinct, aggPol: commitagg.Default(), ctxKeys: make(map[splitKey]int), ctxSeq: 1}
 	for _, o := range opts {
 		o(w)
 	}
@@ -294,6 +314,7 @@ func newProc(w *World, rank int) *Proc {
 		node:  w.mach.Topo.NodeOf(w.placement[rank]),
 		mon:   pml.NewMonitor(w.size, w.level),
 	}
+	p.mon.SetCommitPolicy(w.aggPol)
 	p.queue.init(p, &w.aborted)
 	return p
 }

@@ -76,8 +76,8 @@ func (c *Comm) send(dst, tag int, m *message, class pml.Class) error {
 	if p.tm != nil {
 		uc := userCtx(c.ctx)
 		cm, cb := p.tm.comm(uc)
-		cm.Inc()
-		cb.Add(uint64(size))
+		p.tm.agg.Add(cm, 1, p.clock)
+		p.tm.agg.Add(cb, int64(size), p.clock)
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 	}
 	if fault.Drop {
@@ -306,8 +306,8 @@ func (c *Comm) isend(dst, tag int, m *message) (*Request, error) {
 	if tracked {
 		uc := userCtx(c.ctx)
 		cm, cb := p.tm.comm(uc)
-		cm.Inc()
-		cb.Add(uint64(size))
+		p.tm.agg.Add(cm, 1, p.clock)
+		p.tm.agg.Add(cb, int64(size), p.clock)
 		p.tr.Message(class.String(), uc, p.rank, dstWorld, int64(size), sentAt, arrival)
 		p.tm.inflight.Inc()
 	}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"strconv"
 
+	"mpimon/internal/commitagg"
 	"mpimon/internal/faults"
 	"mpimon/internal/pml"
 	"mpimon/internal/telemetry"
@@ -30,21 +31,29 @@ type rankMetrics struct {
 	reg  *telemetry.Registry
 	rank telemetry.Label
 
-	// Per-class message/byte counters, fed by a pml recorder so they
-	// honour the monitoring level and suppression exactly like the
+	// agg is the rank's commit-on-threshold shard: per-message counter
+	// bumps land in rank-local padded cells and fold into the shared
+	// registry counters only on commit (threshold, virtual interval, or
+	// a scrape/snapshot barrier via the registry's flusher). This is
+	// what removes the shared-cache-line traffic the per-message atomics
+	// used to pay.
+	agg *commitagg.Shard
+
+	// Per-class message/byte counter cells, fed by a pml recorder so
+	// they honour the monitoring level and suppression exactly like the
 	// counters the introspection library reads.
-	msgs  [pml.NumClasses]*telemetry.Counter
-	bytes [pml.NumClasses]*telemetry.Counter
+	msgs  [pml.NumClasses]*commitagg.Cell
+	bytes [pml.NumClasses]*commitagg.Cell
 
 	msgSize  *telemetry.Histogram // payload bytes per monitored message
 	recvWait *telemetry.Histogram // virtual ns blocked waiting for a message
 	latency  *telemetry.Histogram // virtual send-to-arrival ns per received message
 	inflight *telemetry.Gauge     // outstanding nonblocking requests
 
-	// Per-communicator traffic counters, resolved lazily per context id;
-	// the maps are owned by the rank goroutine.
-	commMsgs  map[int]*telemetry.Counter
-	commBytes map[int]*telemetry.Counter
+	// Per-communicator traffic counter cells, resolved lazily per
+	// context id; the maps are owned by the rank goroutine.
+	commMsgs  map[int]*commitagg.Cell
+	commBytes map[int]*commitagg.Cell
 }
 
 // wireTelemetry is called by NewWorld after the processes exist.
@@ -55,22 +64,26 @@ func (w *World) wireTelemetry() {
 		m := &rankMetrics{
 			reg:       reg,
 			rank:      telemetry.L("rank", strconv.Itoa(r)),
-			commMsgs:  make(map[int]*telemetry.Counter),
-			commBytes: make(map[int]*telemetry.Counter),
+			agg:       commitagg.NewShard(w.aggPol),
+			commMsgs:  make(map[int]*commitagg.Cell),
+			commBytes: make(map[int]*commitagg.Cell),
 		}
 		for cl := pml.Class(0); cl < pml.NumClasses; cl++ {
 			class := telemetry.L("class", cl.String())
-			m.msgs[cl] = reg.Counter("mpimon_messages_total", m.rank, class)
-			m.bytes[cl] = reg.Counter("mpimon_bytes_total", m.rank, class)
+			m.msgs[cl] = m.agg.NewCell(counterSink(reg.Counter("mpimon_messages_total", m.rank, class)))
+			m.bytes[cl] = m.agg.NewCell(counterSink(reg.Counter("mpimon_bytes_total", m.rank, class)))
 		}
 		m.msgSize = reg.Histogram("mpimon_message_size_bytes", telemetry.SizeBuckets, m.rank)
 		m.recvWait = reg.Histogram("mpimon_recv_wait_ns", telemetry.TimeBuckets, m.rank)
 		m.latency = reg.Histogram("mpimon_message_latency_ns", telemetry.TimeBuckets, m.rank)
 		m.inflight = reg.Gauge("mpimon_inflight_requests", m.rank)
 		p.tm = m
+		// Every registry read (scrape, CounterTotal, export) is a commit
+		// barrier for this rank's pending deltas.
+		reg.AddFlusher(m.agg.Flush)
 		p.mon.AddRecorder(func(class pml.Class, dst, size int, when int64) {
-			m.msgs[class].Inc()
-			m.bytes[class].Add(uint64(size))
+			m.agg.Add(m.msgs[class], 1, when)
+			m.agg.Add(m.bytes[class], int64(size), when)
 			m.msgSize.Observe(int64(size))
 		})
 	}
@@ -122,15 +135,44 @@ func (w *World) wireFaultTelemetry(reg *telemetry.Registry) {
 // timeline.
 func (p *Proc) Telemetry() *telemetry.Rank { return p.tr }
 
+// counterSink adapts a monotonically increasing counter to a commitagg
+// sink; the batched deltas are always non-negative.
+func counterSink(c *telemetry.Counter) func(int64) {
+	return func(d int64) { c.Add(uint64(d)) }
+}
+
+// TelemetryAggStats sums the per-rank telemetry commit shards: how many
+// counter updates the world recorded and how many registry folds they
+// amortized to. Zero without telemetry.
+func (w *World) TelemetryAggStats() commitagg.Stats {
+	var st commitagg.Stats
+	for _, p := range w.procs {
+		if p.tm != nil {
+			st = st.Add(p.tm.agg.Stats())
+		}
+	}
+	return st
+}
+
+// MonitorAggStats sums the per-rank pml batched-fold counters (zero when
+// the commit policy is eager — the direct path does not count).
+func (w *World) MonitorAggStats() commitagg.Stats {
+	var st commitagg.Stats
+	for _, p := range w.procs {
+		st = st.Add(p.mon.AggStats())
+	}
+	return st
+}
+
 // comm returns (creating on first use) the per-communicator traffic
-// counters of a context id. Must be called from the rank goroutine.
-func (m *rankMetrics) comm(ctx int) (*telemetry.Counter, *telemetry.Counter) {
+// counter cells of a context id. Must be called from the rank goroutine.
+func (m *rankMetrics) comm(ctx int) (*commitagg.Cell, *commitagg.Cell) {
 	cm, ok := m.commMsgs[ctx]
 	if !ok {
 		l := telemetry.L("ctx", strconv.Itoa(ctx))
-		cm = m.reg.Counter("mpimon_comm_messages_total", m.rank, l)
+		cm = m.agg.NewCell(counterSink(m.reg.Counter("mpimon_comm_messages_total", m.rank, l)))
 		m.commMsgs[ctx] = cm
-		m.commBytes[ctx] = m.reg.Counter("mpimon_comm_bytes_total", m.rank, l)
+		m.commBytes[ctx] = m.agg.NewCell(counterSink(m.reg.Counter("mpimon_comm_bytes_total", m.rank, l)))
 	}
 	return cm, m.commBytes[ctx]
 }

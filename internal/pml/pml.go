@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"mpimon/internal/commitagg"
 )
 
 // Class tells which kind of MPI operation produced a message. Collective
@@ -113,9 +115,54 @@ type Monitor struct {
 	// sp is the sparse backend, non-nil iff n > DenseLimit: per-class maps
 	// keyed by destination, sized by peers actually touched. A dense
 	// monitor costs ~56 bytes per world rank per process — 3.4 GiB/rank at
-	// np = 65536 — while real applications talk to O(degree) neighbours;
+	// np = 65536 — while real applications talk to O(touched) neighbours;
 	// the sparse backend makes per-process monitoring memory O(touched).
 	sp []spClass
+
+	// pend is the commit-on-threshold front of the per-peer fold: a tiny
+	// associative cache of pending (dst -> count/bytes) deltas per
+	// class, non-nil iff batching is enabled (SetCommitPolicy). A
+	// heavy-churn send touches only its local slot; the backend map (or
+	// dense row) sees one merged fold per policy threshold/interval —
+	// committing information, not traffic. Every read path flushes first
+	// so barriers (session Suspends, gathers) observe exact counters.
+	pend []pendClass
+	pol  commitagg.Policy
+
+	// Batched-fold accounting (logical updates vs. backend folds), the
+	// commit-ratio the benchmarks report.
+	statUpdates atomic.Uint64
+	statCommits atomic.Uint64
+	statFolds   atomic.Uint64
+}
+
+// pendSlots is the per-class pending-cache size. 8 slots cover the
+// O(degree) neighbourhoods of stencil-style applications; beyond that
+// the round-robin victim folds early, which costs folds but never
+// correctness.
+const pendSlots = 8
+
+// pendEntry is one pending accumulation slot: deltas for a single
+// destination not yet folded into the backend.
+type pendEntry struct {
+	dst      int32 // -1 when empty
+	cnt, byt uint64
+}
+
+// pendClass is one class's pending state: a small fully-associative
+// cache of per-destination deltas. Full associativity matters — a
+// direct-mapped index thrashes whenever two halo neighbours share low
+// bits (r-gx and r+gx collide for any gx ≡ 0 mod slots), while a linear
+// scan of 8 entries is a handful of compares and never displaces a
+// neighbourhood of degree ≤ 8. The mutex is shard-local (one writer rank
+// in steady state) and ordered strictly before the backend locks it
+// folds into.
+type pendClass struct {
+	mu    sync.Mutex
+	n     int   // logical updates since the last full fold
+	since int64 // clock of the last full fold
+	vic   int   // round-robin eviction cursor for degree > pendSlots
+	slots [pendSlots]pendEntry
 }
 
 // DenseLimit is the world size above which NewMonitor switches from the
@@ -234,6 +281,48 @@ func (m *Monitor) RemoveRecorder(id int) {
 	}
 }
 
+// SetCommitPolicy installs (or removes) a commit-on-threshold front in
+// front of the per-peer counters. An eager policy (Threshold <= 1) folds
+// any pending deltas and restores the direct per-message path; a batched
+// policy makes Record accumulate into a small per-class pending cache
+// that folds into the backend only on threshold, interval or a read
+// barrier. Totals observed by any reader are bit-identical either way.
+func (m *Monitor) SetCommitPolicy(p commitagg.Policy) {
+	m.flushPending()
+	if p.Eager() {
+		m.pend = nil
+		m.pol = commitagg.Eager
+		return
+	}
+	pend := make([]pendClass, NumClasses)
+	for cl := range pend {
+		for i := range pend[cl].slots {
+			pend[cl].slots[i].dst = -1
+		}
+	}
+	m.pend = pend
+	m.pol = p.Norm()
+}
+
+// CommitPolicy returns the monitor's current commit policy.
+func (m *Monitor) CommitPolicy() commitagg.Policy {
+	if m.pend == nil {
+		return commitagg.Eager
+	}
+	return m.pol
+}
+
+// AggStats returns the batched-fold counters: logical updates accepted,
+// commit rounds, and backend folds performed. With batching disabled the
+// stats stay zero (the direct path does not count).
+func (m *Monitor) AggStats() commitagg.Stats {
+	return commitagg.Stats{
+		Updates: m.statUpdates.Load(),
+		Commits: m.statCommits.Load(),
+		Folds:   m.statFolds.Load(),
+	}
+}
+
 // Record counts one outgoing message of the given class to the destination
 // world rank. when is the sender's virtual clock (ns) at buffering time.
 // At level Aggregate the class distinction is dropped (everything counts as
@@ -249,6 +338,103 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 	if m.suppress.Load() > 0 {
 		return
 	}
+	if m.pend != nil {
+		m.recordBatched(class, dst, size, when)
+	} else {
+		m.fold(class, dst, 1, uint64(size))
+	}
+	if rs := m.recorders.Load(); rs != nil {
+		for _, r := range *rs {
+			r(class, dst, size, when)
+		}
+	}
+}
+
+// recordBatched accumulates one message into the class's pending cache:
+// a repeat send to a cached neighbour (the stencil/halo steady state)
+// only bumps its slot. A destination beyond the cache's capacity evicts
+// the round-robin victim into the backend. A full fold of the class
+// fires when the policy threshold or interval trips.
+func (m *Monitor) recordBatched(class Class, dst int, size int, when int64) {
+	c := &m.pend[class]
+	c.mu.Lock()
+	var s *pendEntry
+	for i := range c.slots {
+		e := &c.slots[i]
+		if e.dst == int32(dst) {
+			s = e
+			break
+		}
+		if e.dst == -1 && s == nil {
+			s = e
+		}
+	}
+	switch {
+	case s == nil: // cache full of other destinations: evict one
+		s = &c.slots[c.vic]
+		c.vic = (c.vic + 1) & (pendSlots - 1)
+		m.fold(class, int(s.dst), s.cnt, s.byt)
+		m.statFolds.Add(1)
+		s.dst = int32(dst)
+		s.cnt = 1
+		s.byt = uint64(size)
+	case s.dst == int32(dst):
+		s.cnt++
+		s.byt += uint64(size)
+	default: // claimed an empty slot
+		s.dst = int32(dst)
+		s.cnt = 1
+		s.byt = uint64(size)
+	}
+	c.n++
+	m.statUpdates.Add(1)
+	if c.n >= m.pol.Threshold ||
+		(m.pol.IntervalNs > 0 && when-c.since >= m.pol.IntervalNs) {
+		m.foldClassLocked(class, c, when)
+	}
+	c.mu.Unlock()
+}
+
+// foldClassLocked folds every occupied pending slot of one class into the
+// backend and resets the class's trigger state. Caller holds c.mu.
+func (m *Monitor) foldClassLocked(class Class, c *pendClass, when int64) {
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.dst >= 0 {
+			m.fold(class, int(s.dst), s.cnt, s.byt)
+			m.statFolds.Add(1)
+			s.dst = -1
+			s.cnt, s.byt = 0, 0
+		}
+	}
+	c.n = 0
+	c.since = when
+	m.statCommits.Add(1)
+}
+
+// flushPending folds every class's pending deltas into the backend — the
+// read barrier. Every reader (Touched, Counts, CountsAt, TotalBytes, the
+// MPI_T handles above, the session gathers above those) goes through it,
+// which is what makes batched totals bit-identical to eager ones at every
+// observation point. Lock order is pendClass.mu before spClass.mu.
+func (m *Monitor) flushPending() {
+	if m.pend == nil {
+		return
+	}
+	for cl := range m.pend {
+		c := &m.pend[cl]
+		c.mu.Lock()
+		if c.n > 0 {
+			m.foldClassLocked(Class(cl), c, c.since)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// fold merges an accumulated (count, bytes) delta for one destination
+// into the backend — the single write path shared by the eager per-message
+// route (cnt=1) and the batched folds.
+func (m *Monitor) fold(class Class, dst int, cnt, byt uint64) {
 	if m.sp != nil {
 		c := &m.sp[class]
 		c.mu.Lock()
@@ -261,26 +447,21 @@ func (m *Monitor) Record(class Class, dst int, size int, when int64) {
 			c.cells[int32(dst)] = cell
 			c.order = append(c.order, int32(dst))
 		}
-		cell.cnt++
-		cell.byt += uint64(size)
+		cell.cnt += cnt
+		cell.byt += byt
 		c.mu.Unlock()
-	} else {
-		i := int(class)*m.n + dst
-		atomic.AddUint64(&m.counts[i], 1)
-		atomic.AddUint64(&m.bytes[i], uint64(size))
-		// First touch of (class, dst): publish it on the touched list. The
-		// common case (already touched) costs one extra atomic load.
-		w := &m.touchBits[int(class)*m.touchWords+dst>>5]
-		bit := uint32(1) << uint(dst&31)
-		if atomic.LoadUint32(w)&bit == 0 && orUint32(w, bit)&bit == 0 {
-			k := m.touchLen[class].Add(1) - 1
-			atomic.StoreInt32(&m.touchList[int(class)*m.n+int(k)], int32(dst)+1)
-		}
+		return
 	}
-	if rs := m.recorders.Load(); rs != nil {
-		for _, r := range *rs {
-			r(class, dst, size, when)
-		}
+	i := int(class)*m.n + dst
+	atomic.AddUint64(&m.counts[i], cnt)
+	atomic.AddUint64(&m.bytes[i], byt)
+	// First touch of (class, dst): publish it on the touched list. The
+	// common case (already touched) costs one extra atomic load.
+	w := &m.touchBits[int(class)*m.touchWords+dst>>5]
+	bit := uint32(1) << uint(dst&31)
+	if atomic.LoadUint32(w)&bit == 0 && orUint32(w, bit)&bit == 0 {
+		k := m.touchLen[class].Add(1) - 1
+		atomic.StoreInt32(&m.touchList[int(class)*m.n+int(k)], int32(dst)+1)
 	}
 }
 
@@ -299,6 +480,7 @@ func (m *Monitor) copyRow(row []uint64, class Class, out []uint64, wantBytes boo
 	if len(out) != m.n {
 		panic(fmt.Sprintf("pml: output slice has length %d, want %d", len(out), m.n))
 	}
+	m.flushPending()
 	if m.sp != nil {
 		for j := range out {
 			out[j] = 0
@@ -330,6 +512,7 @@ func (c *spCell) load(wantBytes bool) uint64 {
 // order. The result is a fresh slice; its length is the number of peers
 // touched, so callers iterating it pay O(touched), not O(world).
 func (m *Monitor) Touched(class Class) []int {
+	m.flushPending()
 	if m.sp != nil {
 		c := &m.sp[class]
 		c.mu.Lock()
@@ -370,6 +553,7 @@ func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64, w
 	if len(out) != len(peers) {
 		panic(fmt.Sprintf("pml: output slice has length %d for %d peers", len(out), len(peers)))
 	}
+	m.flushPending()
 	if m.sp != nil {
 		c := &m.sp[class]
 		c.mu.Lock()
@@ -398,6 +582,7 @@ func (m *Monitor) copyAt(row []uint64, class Class, peers []int, out []uint64, w
 
 // TotalBytes returns the total bytes recorded for one class.
 func (m *Monitor) TotalBytes(class Class) uint64 {
+	m.flushPending()
 	var s uint64
 	if m.sp != nil {
 		c := &m.sp[class]
@@ -415,8 +600,21 @@ func (m *Monitor) TotalBytes(class Class) uint64 {
 	return s
 }
 
-// Reset zeroes every counter and forgets the touched peers.
+// Reset zeroes every counter and forgets the touched peers. Pending
+// batched deltas are discarded, not folded: Reset starts a new epoch and
+// traffic recorded before it does not belong there.
 func (m *Monitor) Reset() {
+	if m.pend != nil {
+		for cl := range m.pend {
+			c := &m.pend[cl]
+			c.mu.Lock()
+			for i := range c.slots {
+				c.slots[i] = pendEntry{dst: -1}
+			}
+			c.n = 0
+			c.mu.Unlock()
+		}
+	}
 	if m.sp != nil {
 		for cl := range m.sp {
 			c := &m.sp[cl]

@@ -169,7 +169,14 @@ func WritePrometheusMulti(w io.Writer, regs ...LabeledRegistry) error {
 			return err
 		}
 		for _, s := range samples {
-			if err := writeSample(bw, s.m, mergeLabels(s.m.labels, s.extra)); err != nil {
+			// The common single-registry scrape reuses the label string
+			// rendered at registration; only injected labels re-render.
+			labels, plain := s.m.labels, s.m.labelStr
+			if len(s.extra) > 0 {
+				labels = mergeLabels(s.m.labels, s.extra)
+				plain = labelString(labels, "", "")
+			}
+			if err := writeSample(bw, s.m, labels, plain); err != nil {
 				return err
 			}
 		}
@@ -177,14 +184,16 @@ func WritePrometheusMulti(w io.Writer, regs ...LabeledRegistry) error {
 	return bw.Flush()
 }
 
-// writeSample emits one instrument's sample lines under the given labels.
-func writeSample(bw *bufio.Writer, m *metric, labels []Label) error {
+// writeSample emits one instrument's sample lines: labels feed the
+// histogram "le" rendering, plain is the pre-rendered {k="v"} suffix for
+// every sample without an extra pair.
+func writeSample(bw *bufio.Writer, m *metric, labels []Label, plain string) error {
 	switch {
 	case m.c != nil:
-		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(labels, "", ""), m.c.Value())
+		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, plain, m.c.Value())
 		return err
 	case m.g != nil:
-		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, labelString(labels, "", ""), m.g.Value())
+		_, err := fmt.Fprintf(bw, "%s%s %d\n", m.family, plain, m.g.Value())
 		return err
 	case m.h != nil:
 		var cum uint64
@@ -200,10 +209,10 @@ func writeSample(bw *bufio.Writer, m *metric, labels []Label) error {
 		if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, labelString(labels, "le", "+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, labelString(labels, "", ""), m.h.Sum()); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, plain, m.h.Sum()); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(bw, "%s_count%s %d\n", m.family, labelString(labels, "", ""), m.h.Count())
+		_, err := fmt.Fprintf(bw, "%s_count%s %d\n", m.family, plain, m.h.Count())
 		return err
 	}
 	return nil

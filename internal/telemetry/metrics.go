@@ -119,13 +119,20 @@ var SizeBuckets = ExpBuckets(1, 4, 16)
 // of four.
 var TimeBuckets = ExpBuckets(64, 4, 14)
 
-// metric is one registered instrument with its identity.
+// metric is one registered instrument with its identity. The three
+// string fields are derived from (family, labels) once at registration
+// so scrapes never re-sort labels or rebuild keys: key is the full
+// registry key, labelSig the label-only signature snapshot sorts by, and
+// labelStr the pre-rendered {k="v",...} exposition suffix.
 type metric struct {
-	family string
-	labels []Label
-	c      *Counter
-	g      *Gauge
-	h      *Histogram
+	family   string
+	labels   []Label
+	key      string
+	labelSig string
+	labelStr string
+	c        *Counter
+	g        *Gauge
+	h        *Histogram
 }
 
 // kind names the instrument kind of a metric, for error messages.
@@ -149,6 +156,16 @@ type Registry struct {
 	byKey   map[string]*metric
 	ordered []*metric
 	help    map[string]string
+
+	// sorted caches the export-ordered metric list; it is invalidated on
+	// registration (rare) instead of being rebuilt per scrape (frequent).
+	sorted []*metric
+
+	// flushers are commit barriers run before every snapshot, so batched
+	// writers (commitagg shards) fold their pending deltas in and a
+	// scrape observes exact totals. A flusher must not call back into
+	// the registry.
+	flushers []func()
 }
 
 // NewRegistry builds an empty registry.
@@ -241,24 +258,58 @@ func (r *Registry) lookup(name string, labels []Label, mk func() *metric) *metri
 	m := mk()
 	m.family = name
 	m.labels = ls
+	m.key = key
+	m.labelSig = metricKey("", ls)
+	m.labelStr = labelString(ls, "", "")
 	r.byKey[key] = m
 	r.ordered = append(r.ordered, m)
+	r.sorted = nil
 	return m
 }
 
-// snapshot returns the registered metrics sorted by family then label
-// signature, for deterministic export.
-func (r *Registry) snapshot() []*metric {
+// AddFlusher registers a commit barrier that snapshot (and so every
+// export and CounterTotal) runs first: batched writers install their
+// shard's Flush here so reads are exact. Flushers run outside the
+// registry lock and must not call back into the registry.
+func (r *Registry) AddFlusher(f func()) {
+	if f == nil {
+		panic("telemetry: AddFlusher(nil)")
+	}
 	r.mu.Lock()
-	out := append([]*metric(nil), r.ordered...)
+	r.flushers = append(r.flushers, f)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].family != out[j].family {
-			return out[i].family < out[j].family
-		}
-		return metricKey("", out[i].labels) < metricKey("", out[j].labels)
-	})
-	return out
+}
+
+// Flush forces every registered batched writer to commit its pending
+// deltas — the explicit barrier form of the snapshot-time flush.
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	fs := r.flushers
+	r.mu.Unlock()
+	for _, f := range fs {
+		f()
+	}
+}
+
+// snapshot returns the registered metrics sorted by family then label
+// signature, for deterministic export. The sort order and the slice are
+// cached between registrations; callers must treat the result as
+// read-only. Batched writers are flushed first so values are exact at
+// this barrier.
+func (r *Registry) snapshot() []*metric {
+	r.Flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sorted == nil {
+		r.sorted = append([]*metric(nil), r.ordered...)
+		sort.Slice(r.sorted, func(i, j int) bool {
+			if r.sorted[i].family != r.sorted[j].family {
+				return r.sorted[i].family < r.sorted[j].family
+			}
+			return r.sorted[i].labelSig < r.sorted[j].labelSig
+		})
+	}
+	return r.sorted
 }
 
 // CounterTotal sums the values of every counter of the given family
