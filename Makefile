@@ -5,7 +5,7 @@ SERVEOUT ?= results/BENCH_serve.json
 ENGINEOUT ?= results/BENCH_engine.json
 COMMITOUT ?= results/BENCH_commitagg.json
 
-.PHONY: build test vet race bench benchsmoke ci
+.PHONY: build test vet race bench benchsmoke apicheck ci
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,19 @@ test:
 # the telemetry layer instruments, the pooled message buffers, the sharded
 # NIC counters, the parallel TreeMatch partitioner, the fault-injection
 # / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree),
-# the monitoring daemon's concurrent ingest/read service, and the
+# the monitoring daemon's concurrent ingest/read service, the
 # commit-on-threshold aggregation layer (concurrent producers vs forced
-# barrier flushes) with the pml fold it fronts.
+# barrier flushes) with the pml fold it fronts, and the reorder/online
+# control loops (SPMD controllers stepping concurrently over all ranks).
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc ./internal/commitagg ./internal/pml
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc ./internal/commitagg ./internal/pml ./internal/reorder ./internal/online
+
+# apicheck pins the root package's exported API: the surface extracted by
+# cmd/apisurface must match the golden listing in docs/api_surface.txt.
+# After an intentional API change, regenerate it with
+# `go run ./cmd/apisurface -update` and commit the diff.
+apicheck:
+	$(GO) run ./cmd/apisurface -check
 
 # bench runs the hot-path benchmark suite — the send/recv micro (pool-hit
 # allocation rate), the TreeMatch kernels, and the collective layer — and
@@ -60,6 +68,6 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # ci is the gate for a change: static checks, full build, the whole test
-# suite, the race tier on the instrumented packages, and a one-iteration
-# pass over every benchmark.
-ci: vet build test race benchsmoke
+# suite, the race tier on the instrumented packages, a one-iteration pass
+# over every benchmark, and the exported-API pin.
+ci: vet build test race benchsmoke apicheck

@@ -1,0 +1,203 @@
+// Command apisurface extracts the exported API surface of the root mpimon
+// package — every exported function, method, type, constant and variable,
+// one normalized line each, sorted — and diffs it against the golden
+// listing in docs/api_surface.txt. The CI gate (`make ci`) runs it with
+// -check, so any change to the public API shows up as an explicit diff the
+// change's author must acknowledge by regenerating the golden file with
+// -update. Doc comments and bodies are stripped: only signatures count.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to extract")
+	golden := flag.String("golden", "docs/api_surface.txt", "golden surface listing")
+	check := flag.Bool("check", false, "diff the surface against the golden file, exit 1 on drift")
+	update := flag.Bool("update", false, "rewrite the golden file from the current surface")
+	flag.Parse()
+
+	lines, err := surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(1)
+	}
+	text := strings.Join(lines, "\n") + "\n"
+
+	switch {
+	case *update:
+		if err := os.WriteFile(*golden, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apisurface:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apisurface: wrote %s (%d entries)\n", *golden, len(lines))
+	case *check:
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apisurface:", err)
+			os.Exit(1)
+		}
+		if diff := diffLines(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), lines); len(diff) > 0 {
+			fmt.Fprintf(os.Stderr, "apisurface: exported API drifted from %s:\n", *golden)
+			for _, d := range diff {
+				fmt.Fprintln(os.Stderr, " ", d)
+			}
+			fmt.Fprintln(os.Stderr, "apisurface: run `go run ./cmd/apisurface -update` if the change is intentional")
+			os.Exit(1)
+		}
+		fmt.Printf("apisurface: %s is current (%d entries)\n", *golden, len(lines))
+	default:
+		fmt.Print(text)
+	}
+}
+
+// surface lists the exported declarations of the package in dir, one
+// normalized line per declaration, sorted.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	out := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || (d.Recv != nil && !exportedRecv(d.Recv)) {
+			return nil
+		}
+		fn := *d
+		fn.Doc = nil
+		fn.Body = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				out = append(out, "type "+render(fset, &ts))
+			case *ast.ValueSpec:
+				if line, ok := valueLine(fset, d.Tok, s); ok {
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// valueLine renders one const/var spec restricted to its exported names.
+func valueLine(fset *token.FileSet, tok token.Token, s *ast.ValueSpec) (string, bool) {
+	vs := *s
+	vs.Doc, vs.Comment = nil, nil
+	vs.Names = nil
+	var vals []ast.Expr
+	for i, n := range s.Names {
+		if !n.IsExported() {
+			continue
+		}
+		vs.Names = append(vs.Names, n)
+		if i < len(s.Values) {
+			vals = append(vals, s.Values[i])
+		}
+	}
+	if len(vs.Names) == 0 {
+		return "", false
+	}
+	vs.Values = vals
+	return tok.String() + " " + render(fset, &vs), true
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+var spaceRe = regexp.MustCompile(`\s+`)
+
+// render prints a node and collapses it to one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return spaceRe.ReplaceAllString(strings.TrimSpace(buf.String()), " ")
+}
+
+// diffLines reports golden-vs-current line differences as +/- entries.
+func diffLines(want, got []string) []string {
+	w := map[string]bool{}
+	g := map[string]bool{}
+	for _, l := range want {
+		w[l] = true
+	}
+	for _, l := range got {
+		g[l] = true
+	}
+	var out []string
+	for _, l := range want {
+		if !g[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range got {
+		if !w[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}

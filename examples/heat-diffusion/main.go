@@ -51,7 +51,7 @@ func main() {
 		// Monitor a single sweep, reorder, and solve again.
 		one := cfg
 		one.Iters = 1
-		opt, _, err := mpimon.MonitorAndReorder(env, c, nil, func(cc *mpimon.Comm) error {
+		opt, _, err := mpimon.MonitorAndReorder(env, c, func(cc *mpimon.Comm) error {
 			_, err := mpimon.RunStencil(cc, one)
 			return err
 		})

@@ -69,7 +69,7 @@ func main() {
 
 		// The paper's Fig. 1: monitor one iteration, reorder.
 		t0 = p.Clock()
-		opt, k, err := mpimon.MonitorAndReorder(env, c, nil, computeIteration)
+		opt, k, err := mpimon.MonitorAndReorder(env, c, computeIteration)
 		if err != nil {
 			return err
 		}

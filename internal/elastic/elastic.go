@@ -43,54 +43,51 @@ type Plan struct {
 	MigrationBytes int64
 }
 
-// Reconfigure computes a new placement of the n ranks onto the avail cores
-// using TreeMatch on the communication matrix, then minimizes disturbance:
-// within every topology node, ranks that already sit on one of the node's
-// newly assigned cores keep their core. stateBytes is each rank's
-// migration payload for the cost estimate.
-func Reconfigure(mat []uint64, n int, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
+// ReconfigureView computes a new placement of the n = v.Order() ranks onto
+// the avail cores using TreeMatch on the communication matrix, then
+// minimizes disturbance: within every topology node, ranks that already
+// sit on one of the node's newly assigned cores keep their core.
+// stateBytes is each rank's migration payload for the cost estimate. The
+// unified entry point: pass a gathered *sparsemat.Matrix directly or wrap
+// a dense matrix with sparsemat.DenseView; the plan is identical either
+// way (the padded affinity matrix is bit-identical to both legacy paths).
+func ReconfigureView(v sparsemat.MatrixView, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
+	n := v.Order()
 	if len(oldPlace) != n {
 		return Plan{}, fmt.Errorf("elastic: old placement has %d entries for %d ranks", len(oldPlace), n)
 	}
 	if len(avail) < n {
 		return Plan{}, fmt.Errorf("elastic: %d available cores for %d ranks", len(avail), n)
-	}
-	if len(mat) != n*n {
-		return Plan{}, fmt.Errorf("elastic: matrix of %d entries is not %dx%d", len(mat), n, n)
 	}
 	// Pad the matrix with zero-affinity dummies up to the available core
 	// count, so TreeMatch is free to choose *which* of the available
 	// cores the real ranks use (the dummies soak up the rest).
-	total := len(avail)
-	padded := treematch.NewMatrix(total)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if w := float64(mat[i*n+j]) + float64(mat[j*n+i]); w > 0 {
-				padded.Add(i, j, w)
-			}
-		}
-	}
-	padded.Finish()
-	return planOn(padded, n, topo, oldPlace, avail, stateBytes)
-}
-
-// ReconfigureSparse is Reconfigure over the sparse matrix gathered by
-// RootgatherSparse: same plan (the padded affinity matrix is bit-identical
-// to the dense path's), but O(nnz) time and memory — the n² matrix is
-// never materialized.
-func ReconfigureSparse(sm *sparsemat.Matrix, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
-	n := sm.N
-	if len(oldPlace) != n {
-		return Plan{}, fmt.Errorf("elastic: old placement has %d entries for %d ranks", len(oldPlace), n)
-	}
-	if len(avail) < n {
-		return Plan{}, fmt.Errorf("elastic: %d available cores for %d ranks", len(avail), n)
-	}
-	padded, err := treematch.FromSparseRowsPadded(sm, len(avail))
+	padded, err := treematch.FromViewPadded(v, len(avail))
 	if err != nil {
 		return Plan{}, err
 	}
 	return planOn(padded, n, topo, oldPlace, avail, stateBytes)
+}
+
+// Reconfigure is ReconfigureView over a row-major n-by-n dense bytes
+// matrix — the historical dense signature.
+//
+// Deprecated: use ReconfigureView(sparsemat.DenseView(mat, n), ...), of
+// which this is a thin wrapper returning an identical plan.
+func Reconfigure(mat []uint64, n int, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
+	if n < 0 || len(mat) != n*n {
+		return Plan{}, fmt.Errorf("elastic: matrix of %d entries is not %dx%d", len(mat), n, n)
+	}
+	return ReconfigureView(sparsemat.DenseView(mat, n), topo, oldPlace, avail, stateBytes)
+}
+
+// ReconfigureSparse is ReconfigureView over the sparse matrix gathered by
+// RootgatherSparse: same plan, O(nnz) time and memory.
+//
+// Deprecated: use ReconfigureView — *sparsemat.Matrix satisfies MatrixView
+// directly, and this wrapper is exactly ReconfigureView(sm, ...).
+func ReconfigureSparse(sm *sparsemat.Matrix, topo *topology.Topology, oldPlace []int, avail []int, stateBytes int64) (Plan, error) {
+	return ReconfigureView(sm, topo, oldPlace, avail, stateBytes)
 }
 
 // planOn runs TreeMatch on the (padded) affinity matrix and turns the

@@ -101,10 +101,9 @@ func collTime(op string, np, bytes, reps int, withReorder bool) (time.Duration, 
 				return err
 			}
 			defer env.Finalize()
-			opts := &reorder.Options{Flags: monitoring.CollOnly, ChargeMappingTime: true}
-			opt, _, err := reorder.MonitorAndReorder(env, c, opts, func(cc *mpi.Comm) error {
+			opt, _, err := reorder.MonitorAndReorder(env, c, func(cc *mpi.Comm) error {
 				return runCollective(op, cc, bytes)
-			})
+			}, reorder.WithFlags(monitoring.CollOnly))
 			if err != nil {
 				return err
 			}

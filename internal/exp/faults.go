@@ -163,18 +163,17 @@ func Faults(cfg FaultsConfig) (FaultsResult, error) {
 		// Re-optimize the shrunken job with a starved mapping budget: the
 		// mapping times out, retries with backoff, exhausts, and degrades
 		// to the identity permutation — the run keeps going regardless.
-		opts := reorder.NewOptions(
-			reorder.WithMappingTimeout(cfg.MappingTimeout),
-			reorder.WithRetries(cfg.Retries),
-			reorder.WithBackoff(10*time.Microsecond),
-		)
-		_, k, err := reorder.MonitorAndReorder(env, nc, opts, func(rc *mpi.Comm) error {
+		_, k, err := reorder.MonitorAndReorder(env, nc, func(rc *mpi.Comm) error {
 			sub, err := rc.Split(rc.Rank()/cfg.Clique, rc.Rank())
 			if err != nil {
 				return err
 			}
 			return sub.AllgatherN(cfg.MsgSize)
-		})
+		},
+			reorder.WithMappingTimeout(cfg.MappingTimeout),
+			reorder.WithRetries(cfg.Retries),
+			reorder.WithBackoff(10*time.Microsecond),
+		)
 		if err != nil {
 			return err
 		}

@@ -113,7 +113,7 @@ func heatCell(np, bufInts, iters int) (HeatCell, error) {
 		// t2: monitor one iteration and reorder. The monitored iteration
 		// is part of the reordering cost.
 		t0 = p.Clock()
-		opt, _, err := reorder.MonitorAndReorder(env, c, nil, func(cc *mpi.Comm) error {
+		opt, _, err := reorder.MonitorAndReorder(env, c, func(cc *mpi.Comm) error {
 			return phase(cc, 1)
 		})
 		if err != nil {

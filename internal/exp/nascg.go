@@ -157,7 +157,7 @@ func cgRun(cls cg.Class, np int, mapping string, niter int, seed int64, withReor
 			// Monitor the initialization conj_grad and reorder on its
 			// communication matrix (no data redistribution is needed,
 			// exactly as in the paper's CG experiment).
-			opt, _, err := reorder.MonitorAndReorder(env, c, nil, initPhase)
+			opt, _, err := reorder.MonitorAndReorder(env, c, initPhase)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"mpimon/internal/reorder"
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/topology"
+)
+
+// TestMatrixViewPinnedToLegacyPaths is the API-unification acceptance
+// gate: on matrices gathered from real monitored worlds (np 4 and 256,
+// both execution engines), the unified MatrixView mapping entrypoint must
+// produce exactly the permutation of both legacy entrypoints — dense and
+// sparse — whichever representation it is fed. The same matrices must
+// also arrive identically under both engines, so the pin extends across
+// them.
+func TestMatrixViewPinnedToLegacyPaths(t *testing.T) {
+	for _, np := range []int{4, 256} {
+		perEngine := map[string][]int{}
+		for _, engine := range []string{"goroutine", "event"} {
+			t.Run(fmt.Sprintf("np%d_%s", np, engine), func(t *testing.T) {
+				sm, _, err := StencilWorldSparse(np, 2, 4096, engine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, dense := sm.Dense()
+				nodes := np / 8
+				if nodes < 1 {
+					nodes = 1
+				}
+				topo := topology.MustNew(nodes, 2, 4)
+				place := make([]int, np)
+				for i := range place {
+					place[i] = i
+				}
+				kd, err := reorder.ComputeMappingDense(dense, np, topo, place)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ks, err := reorder.ComputeMappingSparse(sm, topo, place)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kvd, err := reorder.ComputeMapping(sparsemat.DenseView(dense, np), topo, place)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kvs, err := reorder.ComputeMapping(sm, topo, place)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range kd {
+					if kd[i] != ks[i] || kd[i] != kvd[i] || kd[i] != kvs[i] {
+						t.Fatalf("rank %d: dense=%d sparse=%d view(dense)=%d view(sparse)=%d",
+							i, kd[i], ks[i], kvd[i], kvs[i])
+					}
+				}
+				perEngine[engine] = kd
+			})
+		}
+		if g, e := perEngine["goroutine"], perEngine["event"]; len(g) > 0 && len(e) > 0 {
+			for i := range g {
+				if g[i] != e[i] {
+					t.Fatalf("np %d: engines disagree at rank %d: goroutine=%d event=%d",
+						np, i, g[i], e[i])
+				}
+			}
+		}
+	}
+}

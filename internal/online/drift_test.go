@@ -1,0 +1,160 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"mpimon/internal/sparsemat"
+)
+
+// sm builds an n-by-n sparse matrix from a dense bytes slice (counts all 1
+// where bytes flow).
+func sm(t *testing.T, n int, bytes []uint64) *sparsemat.Matrix {
+	t.Helper()
+	counts := make([]uint64, n*n)
+	for i, b := range bytes {
+		if b > 0 {
+			counts[i] = 1
+		}
+	}
+	m, err := sparsemat.FromDense(counts, bytes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDriftIdenticalIsZero(t *testing.T) {
+	a := sm(t, 3, []uint64{
+		0, 5, 0,
+		3, 0, 7,
+		0, 2, 0,
+	})
+	b := sm(t, 3, []uint64{
+		0, 5, 0,
+		3, 0, 7,
+		0, 2, 0,
+	})
+	d, err := Drift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("drift of identical matrices = %v, want 0", d)
+	}
+}
+
+func TestDriftDisjointSupportsIsTwo(t *testing.T) {
+	// Same total volume on disjoint pairs: L1 = tot(a) + tot(b) = 2*den.
+	a := sm(t, 4, []uint64{
+		0, 10, 0, 0,
+		0, 0, 0, 0,
+		0, 0, 0, 10,
+		0, 0, 0, 0,
+	})
+	b := sm(t, 4, []uint64{
+		0, 0, 10, 0,
+		0, 0, 0, 10,
+		0, 0, 0, 0,
+		0, 0, 0, 0,
+	})
+	d, err := Drift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("drift of disjoint matrices = %v, want 2", d)
+	}
+}
+
+func TestDriftNilReference(t *testing.T) {
+	cur := sm(t, 2, []uint64{0, 9, 0, 0})
+	d, err := Drift(nil, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("drift of nil ref vs non-empty = %v, want 1", d)
+	}
+}
+
+func TestDriftBothEmptyIsZero(t *testing.T) {
+	d, err := Drift(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("drift of two empties = %v, want 0", d)
+	}
+	e := sm(t, 3, make([]uint64, 9))
+	if d, err = Drift(e, nil); err != nil || d != 0 {
+		t.Fatalf("drift of zero matrix vs nil = %v, %v; want 0, nil", d, err)
+	}
+}
+
+func TestDriftSymmetricPairsFold(t *testing.T) {
+	// i→j and j→i fold into one affinity: 6+4 both ways == 10 one way.
+	a := sm(t, 2, []uint64{0, 6, 4, 0})
+	b := sm(t, 2, []uint64{0, 10, 0, 0})
+	d, err := Drift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("drift across symmetric splits = %v, want 0", d)
+	}
+}
+
+func TestDriftScaleDoubling(t *testing.T) {
+	// Doubling every entry: |2x−x| / 2x = 0.5, exactly representable.
+	a := sm(t, 2, []uint64{0, 8, 0, 0})
+	b := sm(t, 2, []uint64{0, 16, 0, 0})
+	d, err := Drift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Fatalf("drift of doubled matrix = %v, want 0.5", d)
+	}
+}
+
+func TestDriftOrderMismatch(t *testing.T) {
+	a := sm(t, 2, []uint64{0, 1, 0, 0})
+	b := sm(t, 3, make([]uint64, 9))
+	if _, err := Drift(a, b); err == nil {
+		t.Fatal("order mismatch should error")
+	}
+}
+
+func TestDriftedBoundaryIsInclusive(t *testing.T) {
+	// The satellite requirement: drift exactly at the threshold triggers.
+	if !Drifted(0.25, 0.25) {
+		t.Fatal("drift == threshold must trigger")
+	}
+	if Drifted(math.Nextafter(0.25, 0), 0.25) {
+		t.Fatal("drift one ulp below threshold must not trigger")
+	}
+	if !Drifted(math.Nextafter(0.25, 1), 0.25) {
+		t.Fatal("drift one ulp above threshold must trigger")
+	}
+	// A measured drift landing exactly on the threshold, end to end:
+	// doubling traffic gives drift 0.5 exactly (see TestDriftScaleDoubling).
+	a := sm(t, 2, []uint64{0, 8, 0, 0})
+	b := sm(t, 2, []uint64{0, 16, 0, 0})
+	d, err := Drift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Drifted(d, 0.5) {
+		t.Fatalf("measured drift %v at threshold 0.5 must trigger", d)
+	}
+	if Drifted(d, math.Nextafter(0.5, 1)) {
+		t.Fatal("measured drift below a one-ulp-higher threshold must not trigger")
+	}
+	if !Drifted(0, 0) {
+		t.Fatal("threshold 0 must always trigger")
+	}
+	if Drifted(2, math.Nextafter(2, 3)) {
+		t.Fatal("threshold above the metric's range must never trigger")
+	}
+}

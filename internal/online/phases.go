@@ -1,0 +1,56 @@
+package online
+
+import (
+	"fmt"
+	"time"
+
+	"mpimon/internal/sparsemat"
+	"mpimon/internal/trace"
+)
+
+// PhaseMatrices bridges the post-mortem trace layer into the online one:
+// it splits a (merged) event trace into phases at quiet gaps — exactly
+// trace.Phases — and folds each phase into its own sparse communication
+// matrix, comparable with the matrices the live controller gathers. n is
+// the world size the events are ranked in.
+func PhaseMatrices(evs []trace.Event, n int, quiet time.Duration) ([]*sparsemat.Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("online: phase matrices for a world of %d", n)
+	}
+	var out []*sparsemat.Matrix
+	for _, ph := range trace.Phases(evs, quiet) {
+		counts := make([]uint64, n*n)
+		bytes, err := trace.Matrix(ph, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ph {
+			counts[e.Rank*n+e.Dst]++
+		}
+		m, err := sparsemat.FromDense(counts, bytes, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// PhaseDrifts measures the drift between each consecutive pair of phase
+// matrices — the offline answer to "would the online controller have
+// re-reordered here?". Returns len(ms)−1 drifts (nil for fewer than two
+// phases); drifts[i] compares phase i (reference) with phase i+1.
+func PhaseDrifts(ms []*sparsemat.Matrix) ([]float64, error) {
+	if len(ms) < 2 {
+		return nil, nil
+	}
+	out := make([]float64, len(ms)-1)
+	for i := 1; i < len(ms); i++ {
+		d, err := Drift(ms[i-1], ms[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i-1] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"mpimon/internal/trace"
+)
+
+func TestPhaseMatricesAndDrifts(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	// Two phases separated by a quiet gap: a 0↔1 exchange, then a 0↔2
+	// exchange of the same volume — disjoint supports, drift 2.
+	evs := []trace.Event{
+		{Rank: 0, Dst: 1, Bytes: 10, When: ms(1)},
+		{Rank: 1, Dst: 0, Bytes: 10, When: ms(2)},
+		{Rank: 0, Dst: 2, Bytes: 10, When: ms(500)},
+		{Rank: 2, Dst: 0, Bytes: 10, When: ms(501)},
+	}
+	mats, err := PhaseMatrices(evs, 3, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 2 {
+		t.Fatalf("%d phase matrices, want 2", len(mats))
+	}
+	if _, b := mats[0].At(0, 1); b != 10 {
+		t.Fatalf("phase 0 bytes 0->1 = %d, want 10", b)
+	}
+	if _, b := mats[1].At(0, 2); b != 10 {
+		t.Fatalf("phase 1 bytes 0->2 = %d, want 10", b)
+	}
+	drifts, err := PhaseDrifts(mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifts) != 1 || drifts[0] != 2 {
+		t.Fatalf("drifts = %v, want [2]", drifts)
+	}
+	// The inclusive trigger would have re-reordered at the boundary.
+	if !Drifted(drifts[0], 2) {
+		t.Fatal("phase boundary at drift 2 must trigger at threshold 2")
+	}
+}
+
+func TestPhaseMatricesErrors(t *testing.T) {
+	if _, err := PhaseMatrices(nil, 0, time.Millisecond); err == nil {
+		t.Fatal("non-positive world should error")
+	}
+	evs := []trace.Event{{Rank: 9, Dst: 0, Bytes: 1}}
+	if _, err := PhaseMatrices(evs, 2, time.Millisecond); err == nil {
+		t.Fatal("out-of-range rank should error")
+	}
+	if ds, err := PhaseDrifts(nil); err != nil || ds != nil {
+		t.Fatalf("drifts of no phases = %v, %v; want nil, nil", ds, err)
+	}
+}

@@ -1,0 +1,49 @@
+package online
+
+import "mpimon/internal/sparsemat"
+
+// Window is the sliding window of per-epoch sparse monitoring deltas the
+// controller folds into one matrix: each Step gathers the epoch's
+// first-touch deltas (the session is Reset after every gather, so an epoch
+// carries only its own window's traffic) and pushes them here; Matrix sums
+// the retained epochs. Only the deciding root keeps a window.
+type Window struct {
+	cap    int
+	epochs []*sparsemat.Matrix
+	pushed int
+}
+
+// NewWindow builds a window retaining the last capacity epochs (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{cap: capacity}
+}
+
+// Push appends one epoch's matrix, evicting the oldest beyond capacity.
+func (w *Window) Push(m *sparsemat.Matrix) {
+	w.epochs = append(w.epochs, m)
+	if len(w.epochs) > w.cap {
+		w.epochs = w.epochs[1:]
+	}
+	w.pushed++
+}
+
+// Len returns how many epochs the window currently holds.
+func (w *Window) Len() int { return len(w.epochs) }
+
+// Pushed returns how many epochs were ever pushed.
+func (w *Window) Pushed() int { return w.pushed }
+
+// Clear drops every retained epoch (used on Rebind, when the rank space
+// changes and old epochs are no longer comparable).
+func (w *Window) Clear() { w.epochs = nil }
+
+// Matrix returns the entrywise sum of the retained epochs, nil when empty.
+func (w *Window) Matrix() (*sparsemat.Matrix, error) {
+	if len(w.epochs) == 0 {
+		return nil, nil
+	}
+	return sparsemat.Sum(w.epochs...)
+}

@@ -1,0 +1,54 @@
+package online
+
+import "testing"
+
+func TestWindowSumsEpochs(t *testing.T) {
+	w := NewWindow(3)
+	if m, err := w.Matrix(); err != nil || m != nil {
+		t.Fatalf("empty window = %v, %v; want nil, nil", m, err)
+	}
+	w.Push(sm(t, 2, []uint64{0, 3, 0, 0}))
+	w.Push(sm(t, 2, []uint64{0, 4, 5, 0}))
+	m, err := w.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, b := m.At(0, 1); b != 7 {
+		t.Fatalf("summed bytes 0->1 = %d, want 7", b)
+	}
+	if _, b := m.At(1, 0); b != 5 {
+		t.Fatalf("summed bytes 1->0 = %d, want 5", b)
+	}
+	if w.Len() != 2 || w.Pushed() != 2 {
+		t.Fatalf("Len=%d Pushed=%d, want 2, 2", w.Len(), w.Pushed())
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(sm(t, 2, []uint64{0, 100, 0, 0}))
+	w.Push(sm(t, 2, []uint64{0, 1, 0, 0}))
+	w.Push(sm(t, 2, []uint64{0, 2, 0, 0}))
+	m, err := w.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, b := m.At(0, 1); b != 3 {
+		t.Fatalf("window kept evicted epoch: bytes 0->1 = %d, want 3", b)
+	}
+	if w.Len() != 2 || w.Pushed() != 3 {
+		t.Fatalf("Len=%d Pushed=%d, want 2, 3", w.Len(), w.Pushed())
+	}
+}
+
+func TestWindowClear(t *testing.T) {
+	w := NewWindow(0) // clamps to 1
+	w.Push(sm(t, 2, []uint64{0, 1, 0, 0}))
+	w.Clear()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", w.Len())
+	}
+	if m, err := w.Matrix(); err != nil || m != nil {
+		t.Fatalf("cleared window = %v, %v; want nil, nil", m, err)
+	}
+}

@@ -8,6 +8,7 @@ package reorder
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mpimon/internal/monitoring"
@@ -136,35 +137,70 @@ func NewRanks(coreOf, place []int) ([]int, error) {
 	return k, nil
 }
 
+// MatrixView is the unified communication-matrix view ComputeMapping
+// consumes: both the gathered *sparsemat.Matrix and a dense bytes matrix
+// wrapped with sparsemat.DenseView satisfy it.
+type MatrixView = sparsemat.MatrixView
+
 // ComputeMapping is the paper's compute_mapping: from the gathered bytes
-// matrix (row-major n-by-n), the machine topology and the current placement
-// of the n communicator members, it returns the k vector. It runs on rank 0
-// only. Reorder itself goes through ComputeMappingSparse; this dense entry
-// point is kept for callers holding an already-dense matrix.
-func ComputeMapping(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
-	if len(place) != n {
-		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), n)
+// matrix, the machine topology and the current placement of the n
+// communicator members, it returns the k vector. It runs on rank 0 only.
+// It accepts any MatrixView — pass the sparse matrix from RootgatherSparse
+// directly, or wrap a row-major dense matrix with sparsemat.DenseView; the
+// permutation is bit-identical either way (and identical to what the
+// historical dense/sparse entry points returned).
+func ComputeMapping(v MatrixView, topo *topology.Topology, place []int) ([]int, error) {
+	if len(place) != v.Order() {
+		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), v.Order())
 	}
-	m, err := treematch.FromBytesMatrix(mat, n)
+	m, err := treematch.FromView(v)
 	if err != nil {
 		return nil, err
 	}
 	return mapOnPlacement(m, topo, place)
 }
 
-// ComputeMappingSparse is ComputeMapping over the sparse matrix gathered by
-// RootgatherSparse: same k vector (the affinity matrix built from the
-// sparse rows is bit-identical to the dense one), but O(nnz) time and
-// memory — the n² matrix is never materialized.
-func ComputeMappingSparse(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
-	if len(place) != sm.N {
-		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), sm.N)
+// ComputeMappingDense is ComputeMapping over a row-major n-by-n dense bytes
+// matrix — the historical dense signature.
+//
+// Deprecated: use ComputeMapping(sparsemat.DenseView(mat, n), topo, place),
+// of which this is a thin wrapper returning a bit-identical permutation.
+func ComputeMappingDense(mat []uint64, n int, topo *topology.Topology, place []int) ([]int, error) {
+	if n < 0 || len(mat) != n*n {
+		return nil, fmt.Errorf("reorder: matrix of %d entries is not %d x %d", len(mat), n, n)
 	}
-	m, err := treematch.FromSparseRows(sm)
+	return ComputeMapping(sparsemat.DenseView(mat, n), topo, place)
+}
+
+// ComputeMappingSparse is ComputeMapping over the sparse matrix gathered by
+// RootgatherSparse: same k vector, O(nnz) time and memory.
+//
+// Deprecated: use ComputeMapping — *sparsemat.Matrix satisfies MatrixView
+// directly, and this wrapper is exactly ComputeMapping(sm, topo, place).
+func ComputeMappingSparse(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
+	return ComputeMapping(sm, topo, place)
+}
+
+// ComputeMappingWarm is ComputeMapping warm-started from the placement the
+// communicator already runs under: instead of a full recursive
+// partitioning, the previous placement is refined with bounded best-swap
+// passes (treematch.RefinePlacement) under the current matrix. When the
+// matrix has drifted only moderately this is far cheaper than a full
+// TreeMatch and returns the identity permutation when no swap improves —
+// the online controller's low-drift path.
+func ComputeMappingWarm(v MatrixView, topo *topology.Topology, place []int, passes int) ([]int, error) {
+	if len(place) != v.Order() {
+		return nil, fmt.Errorf("reorder: placement of %d entries for %d ranks", len(place), v.Order())
+	}
+	m, err := treematch.FromView(v)
 	if err != nil {
 		return nil, err
 	}
-	return mapOnPlacement(m, topo, place)
+	coreOf, err := treematch.RefinePlacement(m, topo, place, passes)
+	if err != nil {
+		return nil, err
+	}
+	return NewRanks(coreOf, place)
 }
 
 func mapOnPlacement(m *treematch.Matrix, topo *topology.Topology, place []int) ([]int, error) {
@@ -179,16 +215,24 @@ func mapOnPlacement(m *treematch.Matrix, topo *topology.Topology, place []int) (
 	return NewRanks(coreOf, place)
 }
 
-// mapFn computes the permutation on rank 0; a package variable so tests
-// can inject failures and hangs without a pathological matrix.
-var mapFn = ComputeMappingSparse
+// mapFn computes the permutation on rank 0; a swappable seam so tests can
+// inject failures and hangs without a pathological matrix. Atomic because
+// a timed-out attempt's abandoned goroutine may still read it while a test
+// cleanup restores it.
+var mapFn atomic.Pointer[func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error)]
+
+func init() {
+	fn := ComputeMappingSparse
+	mapFn.Store(&fn)
+}
 
 // runMapping is one mapping attempt, bounded by timeout when positive. A
 // timed-out attempt's goroutine is abandoned (TreeMatch has no
 // cancellation); its result is discarded.
 func runMapping(timeout time.Duration, sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
+	fn := *mapFn.Load()
 	if timeout <= 0 {
-		return mapFn(sm, topo, place)
+		return fn(sm, topo, place)
 	}
 	type result struct {
 		k   []int
@@ -196,7 +240,7 @@ func runMapping(timeout time.Duration, sm *sparsemat.Matrix, topo *topology.Topo
 	}
 	ch := make(chan result, 1)
 	go func() {
-		k, err := mapFn(sm, topo, place)
+		k, err := fn(sm, topo, place)
 		ch <- result{k, err}
 	}()
 	select {
@@ -371,7 +415,33 @@ func Reorder(s *monitoring.Session, opts *Options) (*mpi.Comm, []int, error) {
 // comm, run one (or more) monitored iterations via phase, suspend, reorder,
 // and return the optimized communicator and the permutation. The session is
 // freed before returning. Collective over comm.
-func MonitorAndReorder(env *monitoring.Env, comm *mpi.Comm, opts *Options, phase func(*mpi.Comm) error) (*mpi.Comm, []int, error) {
+//
+// Options are functional, consistent with NewOptions: pass nothing for the
+// defaults, With* adjustments, or WithOptions(o) to apply a prebuilt
+// Options struct. (The historical positional-*Options signature lives on as
+// MonitorAndReorderOptions.)
+func MonitorAndReorder(env *monitoring.Env, comm *mpi.Comm, phase func(*mpi.Comm) error, opts ...Opt) (*mpi.Comm, []int, error) {
+	return MonitorAndReorderOptions(env, comm, NewOptions(opts...), phase)
+}
+
+// WithOptions replaces the whole option set with a prebuilt Options struct
+// (nil applies nothing) — the bridge for callers migrating from the
+// positional-*Options signature to the variadic MonitorAndReorder.
+func WithOptions(o *Options) Opt {
+	return func(dst *Options) {
+		if o != nil {
+			*dst = *o
+		}
+	}
+}
+
+// MonitorAndReorderOptions is MonitorAndReorder with the historical
+// positional options struct; nil means the defaults.
+//
+// Deprecated: use MonitorAndReorder(env, comm, phase, opts...) — with
+// WithOptions(o) when an Options struct is already in hand. Behavior is
+// identical.
+func MonitorAndReorderOptions(env *monitoring.Env, comm *mpi.Comm, opts *Options, phase func(*mpi.Comm) error) (*mpi.Comm, []int, error) {
 	s, err := env.Start(comm)
 	if err != nil {
 		return nil, nil, err
@@ -434,11 +504,12 @@ func Redistribute(comm *mpi.Comm, k []int, data []byte) ([]byte, error) {
 // StaticPlacement computes a launch-time placement from a communication
 // matrix of a previous run — the static strategy the paper contrasts with
 // its dynamic reordering (monitor once, re-execute with the better
-// mapping): given the gathered bytes matrix and the machine topology, it
-// returns the rank-to-core placement to pass to a new world via
-// WithPlacement. cores selects the usable cores (nil = all).
-func StaticPlacement(mat []uint64, n int, topo *topology.Topology, cores []int) ([]int, error) {
-	m, err := treematch.FromBytesMatrix(mat, n)
+// mapping): given the gathered matrix (any MatrixView) and the machine
+// topology, it returns the rank-to-core placement to pass to a new world
+// via WithPlacement. cores selects the usable cores (nil = all).
+func StaticPlacement(v MatrixView, topo *topology.Topology, cores []int) ([]int, error) {
+	n := v.Order()
+	m, err := treematch.FromView(v)
 	if err != nil {
 		return nil, err
 	}

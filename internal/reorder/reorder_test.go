@@ -8,6 +8,7 @@ import (
 
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
+	"mpimon/internal/sparsemat"
 	"mpimon/internal/netsim"
 	"mpimon/internal/topology"
 )
@@ -61,7 +62,7 @@ func TestComputeMappingIdentityWhenAlreadyOptimal(t *testing.T) {
 	mat := make([]uint64, n*n)
 	mat[0*n+1], mat[2*n+3] = 1000, 1000
 	place := []int{0, 1, 2, 3}
-	k, err := ComputeMapping(mat, n, topo, place)
+	k, err := ComputeMapping(sparsemat.DenseView(mat, n), topo, place)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +119,9 @@ func TestReorderImprovesGroupedAllgather(t *testing.T) {
 			defer env.Finalize()
 			work := c
 			if reorderRanks {
-				opts := &Options{Flags: monitoring.AllComm, FixedMappingTime: time.Microsecond}
-				opt, k, err := MonitorAndReorder(env, c, opts, func(cc *mpi.Comm) error {
+				opt, k, err := MonitorAndReorder(env, c, func(cc *mpi.Comm) error {
 					return groupPhase(cc, groups, chunk)
-				})
+				}, WithFlags(monitoring.AllComm), WithFixedMappingTime(time.Microsecond))
 				if err != nil {
 					return err
 				}
@@ -170,8 +170,7 @@ func TestReorderedCommunicatorRanks(t *testing.T) {
 			return err
 		}
 		defer env.Finalize()
-		opts := &Options{FixedMappingTime: time.Microsecond}
-		opt, k, err := MonitorAndReorder(env, c, opts, func(cc *mpi.Comm) error {
+		opt, k, err := MonitorAndReorder(env, c, func(cc *mpi.Comm) error {
 			// Ring traffic so the matrix is non-trivial.
 			next, prev := (cc.Rank()+1)%np, (cc.Rank()-1+np)%np
 			if err := cc.Send(next, 0, make([]byte, 1000)); err != nil {
@@ -179,7 +178,7 @@ func TestReorderedCommunicatorRanks(t *testing.T) {
 			}
 			_, err := cc.Recv(prev, 0, nil)
 			return err
-		})
+		}, WithFixedMappingTime(time.Microsecond))
 		if err != nil {
 			return err
 		}
@@ -272,7 +271,7 @@ func TestStaticPlacement(t *testing.T) {
 			}
 		}
 	}
-	place, err := StaticPlacement(mat, n, topo, nil)
+	place, err := StaticPlacement(sparsemat.DenseView(mat, n), topo, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,13 +286,13 @@ func TestStaticPlacement(t *testing.T) {
 	}
 	// Restricted core set.
 	cores := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	if _, err := StaticPlacement(mat, n, topo, cores); err != nil {
+	if _, err := StaticPlacement(sparsemat.DenseView(mat, n), topo, cores); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := StaticPlacement(mat, n, topo, cores[:3]); err == nil {
+	if _, err := StaticPlacement(sparsemat.DenseView(mat, n), topo, cores[:3]); err == nil {
 		t.Fatal("too few cores should fail")
 	}
-	if _, err := StaticPlacement(mat, 99, topo, nil); err == nil {
+	if _, err := StaticPlacement(sparsemat.DenseView(mat, 99), topo, nil); err == nil {
 		t.Fatal("more ranks than cores should fail")
 	}
 }

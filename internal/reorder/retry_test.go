@@ -45,9 +45,8 @@ func TestNewOptionsDefaultsAndOpts(t *testing.T) {
 // swapMapFn installs a failing/hanging mapping function for one test.
 func swapMapFn(t *testing.T, fn func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error)) {
 	t.Helper()
-	prev := mapFn
-	mapFn = fn
-	t.Cleanup(func() { mapFn = prev })
+	prev := mapFn.Swap(&fn)
+	t.Cleanup(func() { mapFn.Store(prev) })
 }
 
 // ringPhase gives the session a non-empty matrix to gather.
@@ -80,7 +79,7 @@ func runReorder(t *testing.T, opts *Options, tel *telemetry.Telemetry) (k []int,
 			return err
 		}
 		defer env.Finalize()
-		opt, kk, err := MonitorAndReorder(env, c, opts, ringPhase)
+		opt, kk, err := MonitorAndReorderOptions(env, c, opts, ringPhase)
 		if c.Rank() == 0 {
 			k, reorderErr = kk, err
 		}
@@ -126,7 +125,7 @@ func TestReorderRetryExhaustionFallsBackToIdentity(t *testing.T) {
 
 func TestReorderRetrySucceedsEventually(t *testing.T) {
 	var calls atomic.Int32
-	real := mapFn
+	real := *mapFn.Load()
 	swapMapFn(t, func(sm *sparsemat.Matrix, topo *topology.Topology, place []int) ([]int, error) {
 		if calls.Add(1) < 3 {
 			return nil, errors.New("transient failure")
@@ -199,7 +198,7 @@ func TestReorderBackoffChargesVirtualTime(t *testing.T) {
 				return err
 			}
 			defer env.Finalize()
-			_, _, err = MonitorAndReorder(env, c, opts, ringPhase)
+			_, _, err = MonitorAndReorder(env, c, ringPhase, WithOptions(opts))
 			return err
 		})
 		if err != nil {

@@ -28,11 +28,19 @@ func TestComputeMappingSparseMatchesDense(t *testing.T) {
 				}
 			}
 		}
-		kd, err := ComputeMapping(bytes, n, topo, place)
+		kd, err := ComputeMappingDense(bytes, n, topo, place)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sm, err := sparsemat.FromDense(counts, bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv, err := ComputeMapping(sparsemat.DenseView(bytes, n), topo, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kw, err := ComputeMapping(sm, topo, place)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,8 +49,9 @@ func TestComputeMappingSparseMatchesDense(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range kd {
-			if kd[i] != ks[i] {
-				t.Fatalf("trial %d: k diverged at rank %d: dense %v, sparse %v", trial, i, kd, ks)
+			if kd[i] != ks[i] || kd[i] != kv[i] || kd[i] != kw[i] {
+				t.Fatalf("trial %d: k diverged at rank %d: dense %v, sparse %v, dense-view %v, sparse-view %v",
+					trial, i, kd, ks, kv, kw)
 			}
 		}
 	}

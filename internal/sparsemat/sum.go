@@ -1,0 +1,62 @@
+package sparsemat
+
+import "fmt"
+
+// Sum returns the entrywise sum of the matrices (counts and bytes added
+// independently), all of which must share one order. The result's rows are
+// freshly allocated; inputs are not modified. O(total nnz · log k) via
+// per-row k-way merges — the fold the online controller's sliding window
+// uses to turn per-epoch deltas into one windowed matrix.
+func Sum(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("sparsemat: sum of no matrices")
+	}
+	n := ms[0].N
+	for _, m := range ms {
+		if m.N != n {
+			return nil, fmt.Errorf("sparsemat: summing orders %d and %d", n, m.N)
+		}
+		if len(m.Rows) != n {
+			return nil, fmt.Errorf("sparsemat: matrix has %d rows for size %d", len(m.Rows), n)
+		}
+	}
+	out := New(n)
+	// Per-row merge: cursors over each input's sorted row, repeatedly
+	// taking the smallest pending destination and folding ties.
+	cur := make([]int, len(ms))
+	for i := 0; i < n; i++ {
+		for k := range cur {
+			cur[k] = 0
+		}
+		var row Row
+		for {
+			best := int32(-1)
+			for k, m := range ms {
+				r := m.Rows[i]
+				if cur[k] >= len(r.Dst) {
+					continue
+				}
+				if d := r.Dst[cur[k]]; best < 0 || d < best {
+					best = d
+				}
+			}
+			if best < 0 {
+				break
+			}
+			var cnt, byt uint64
+			for k, m := range ms {
+				r := m.Rows[i]
+				if cur[k] < len(r.Dst) && r.Dst[cur[k]] == best {
+					cnt += r.Cnt[cur[k]]
+					byt += r.Byt[cur[k]]
+					cur[k]++
+				}
+			}
+			row.Dst = append(row.Dst, best)
+			row.Cnt = append(row.Cnt, cnt)
+			row.Byt = append(row.Byt, byt)
+		}
+		out.Rows[i] = row
+	}
+	return out, nil
+}

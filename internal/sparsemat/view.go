@@ -1,0 +1,176 @@
+package sparsemat
+
+import "fmt"
+
+// MatrixView is the read-only view of an n-by-n communication matrix that
+// the mapping and analysis layers consume. It is the single entry point
+// unifying the historical dense/sparse API pairs: both the row-major
+// []uint64 bytes matrix the dense gathers return (wrap it with DenseView)
+// and the gathered *Matrix satisfy it, so one consumer signature serves
+// both representations.
+//
+// The pair visitor deliberately mirrors the arithmetic shape of the legacy
+// constructors: the affinity of an unordered pair is
+// float64(bij) + float64(bji) with the lower-index direction first, which
+// makes any consumer folding pairs that way bit-identical to both the
+// dense and the sparse historical paths.
+type MatrixView interface {
+	// Order returns the matrix dimension n.
+	Order() int
+	// VisitRows calls fn for every directed entry (i, j) carrying a
+	// nonzero byte count, row by row, destinations ascending within a
+	// row. It stops at, and returns, fn's first error.
+	VisitRows(fn func(i, j int, bytes uint64) error) error
+	// VisitPairs calls fn exactly once per unordered pair {i, j} (always
+	// with i < j) for which either direction has an entry, passing the
+	// directed byte counts both ways (bij = i→j, bji = j→i; a pair may
+	// surface with both zero when the underlying entries carry only
+	// counts). It stops at, and returns, fn's first error.
+	VisitPairs(fn func(i, j int, bij, bji uint64) error) error
+}
+
+// Order implements MatrixView.
+func (m *Matrix) Order() int { return m.N }
+
+// VisitRows implements MatrixView over the sparse rows: every entry with
+// nonzero bytes, in row order, O(nnz).
+func (m *Matrix) VisitRows(fn func(i, j int, bytes uint64) error) error {
+	if err := m.checkRows(); err != nil {
+		return err
+	}
+	for i := range m.Rows {
+		r := m.Rows[i]
+		for k, d := range r.Dst {
+			if r.Byt[k] == 0 {
+				continue
+			}
+			if err := fn(i, int(d), r.Byt[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VisitPairs implements MatrixView over the sparse rows, visiting every
+// unordered pair exactly once in O(nnz log nnz): a pair is emitted from row
+// i's entry when j > i, and from the mirror entry only when row j claims no
+// entry for i at all (an entry with zero bytes still claims the pair).
+// This is the exact traversal treematch historically used to build its
+// affinity matrix from sparse rows, hoisted behind the view interface.
+func (m *Matrix) VisitPairs(fn func(i, j int, bij, bji uint64) error) error {
+	if err := m.checkRows(); err != nil {
+		return err
+	}
+	for i := range m.Rows {
+		r := m.Rows[i]
+		for k, d := range r.Dst {
+			j := int(d)
+			if j == i {
+				continue
+			}
+			if j > i {
+				_, bji := m.At(j, i)
+				if err := fn(i, j, r.Byt[k], bji); err != nil {
+					return err
+				}
+				continue
+			}
+			// j < i: the pair was emitted by row j's pass above unless
+			// row j has no entry for i at all.
+			if !m.Has(j, i) {
+				if err := fn(j, i, 0, r.Byt[k]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Matrix) checkRows() error {
+	if len(m.Rows) != m.N {
+		return fmt.Errorf("sparsemat: matrix has %d rows for size %d", len(m.Rows), m.N)
+	}
+	for i := range m.Rows {
+		if err := m.Rows[i].Validate(m.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dense adapts a row-major n-by-n bytes matrix (as returned by the dense
+// monitoring gathers) to MatrixView without copying it. Build one with
+// DenseView.
+type Dense struct {
+	mat []uint64
+	n   int
+}
+
+// DenseView wraps a row-major n-by-n bytes matrix as a MatrixView. The
+// length is validated lazily: a mismatched slice surfaces as an error from
+// the visit methods.
+func DenseView(mat []uint64, n int) Dense { return Dense{mat: mat, n: n} }
+
+// Order implements MatrixView.
+func (v Dense) Order() int { return v.n }
+
+func (v Dense) check() error {
+	if v.n < 0 || len(v.mat) != v.n*v.n {
+		return fmt.Errorf("sparsemat: dense view of %d entries is not %dx%d", len(v.mat), v.n, v.n)
+	}
+	return nil
+}
+
+// VisitRows implements MatrixView: every nonzero cell in row-major order.
+func (v Dense) VisitRows(fn func(i, j int, bytes uint64) error) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	for i := 0; i < v.n; i++ {
+		row := v.mat[i*v.n : (i+1)*v.n]
+		for j, b := range row {
+			if b == 0 {
+				continue
+			}
+			if err := fn(i, j, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VisitPairs implements MatrixView: every unordered pair with traffic in
+// either direction, in the i-major j-ascending order the legacy dense
+// affinity constructor iterated.
+func (v Dense) VisitPairs(fn func(i, j int, bij, bji uint64) error) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	for i := 0; i < v.n; i++ {
+		for j := i + 1; j < v.n; j++ {
+			bij, bji := v.mat[i*v.n+j], v.mat[j*v.n+i]
+			if bij|bji == 0 {
+				continue
+			}
+			if err := fn(i, j, bij, bji); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums every directed byte entry of the view (diagonal
+// included) — the per-window traffic volume the online controller feeds to
+// the utilization predictor.
+func TotalBytes(v MatrixView) (uint64, error) {
+	var s uint64
+	err := v.VisitRows(func(_, _ int, b uint64) error {
+		s += b
+		return nil
+	})
+	return s, err
+}

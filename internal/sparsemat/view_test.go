@@ -1,0 +1,183 @@
+package sparsemat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+type pair struct {
+	i, j     int
+	bij, bji uint64
+}
+
+func collectPairs(t *testing.T, v MatrixView) []pair {
+	t.Helper()
+	var out []pair
+	err := v.VisitPairs(func(i, j int, bij, bji uint64) error {
+		if i >= j {
+			t.Fatalf("pair visitor emitted (%d,%d) with i >= j", i, j)
+		}
+		out = append(out, pair{i, j, bij, bji})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDenseViewVisitRows(t *testing.T) {
+	v := DenseView([]uint64{
+		0, 5, 0,
+		3, 0, 0,
+		0, 0, 9, // diagonal entries visit too
+	}, 3)
+	type cell struct {
+		i, j int
+		b    uint64
+	}
+	var got []cell
+	if err := v.VisitRows(func(i, j int, b uint64) error {
+		got = append(got, cell{i, j, b})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []cell{{0, 1, 5}, {1, 0, 3}, {2, 2, 9}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDenseViewVisitPairs(t *testing.T) {
+	got := collectPairs(t, DenseView([]uint64{
+		0, 5, 0,
+		3, 0, 7,
+		0, 0, 0,
+	}, 3))
+	want := []pair{{0, 1, 5, 3}, {1, 2, 7, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("pairs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatrixViewMatchesDenseView(t *testing.T) {
+	// The sparse matrix and the dense view over the same traffic must
+	// agree pairwise (same unordered pairs, same directed bytes) and on
+	// the total — the contract that lets consumers treat them uniformly.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(9)
+		counts := make([]uint64, n*n)
+		bytes := make([]uint64, n*n)
+		for i := range counts {
+			switch rng.Intn(4) {
+			case 0:
+			case 1: // count-only entry, no bytes
+				counts[i] = 1
+			default:
+				counts[i] = uint64(rng.Intn(5) + 1)
+				bytes[i] = uint64(rng.Intn(1 << 16))
+			}
+		}
+		m, err := FromDense(counts, bytes, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byPair := map[[2]int][2]uint64{}
+		for _, p := range collectPairs(t, m) {
+			byPair[[2]int{p.i, p.j}] = [2]uint64{p.bij, p.bji}
+		}
+		for _, p := range collectPairs(t, DenseView(bytes, n)) {
+			got, ok := byPair[[2]int{p.i, p.j}]
+			if !ok || got[0] != p.bij || got[1] != p.bji {
+				t.Fatalf("trial %d: pair (%d,%d) sparse=%v dense=(%d,%d)",
+					trial, p.i, p.j, got, p.bij, p.bji)
+			}
+		}
+		ts, err := TotalBytes(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := TotalBytes(DenseView(bytes, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts != td {
+			t.Fatalf("trial %d: totals differ, sparse %d dense %d", trial, ts, td)
+		}
+	}
+}
+
+func TestDenseViewBadLength(t *testing.T) {
+	v := DenseView(make([]uint64, 5), 2)
+	if err := v.VisitRows(func(_, _ int, _ uint64) error { return nil }); err == nil {
+		t.Fatal("bad dense length should error from VisitRows")
+	}
+	if err := v.VisitPairs(func(_, _ int, _, _ uint64) error { return nil }); err == nil {
+		t.Fatal("bad dense length should error from VisitPairs")
+	}
+}
+
+func TestMatrixViewMalformedRows(t *testing.T) {
+	m := &Matrix{N: 3} // no rows at all
+	if err := m.VisitRows(func(_, _ int, _ uint64) error { return nil }); err == nil {
+		t.Fatal("malformed matrix should error from VisitRows")
+	}
+}
+
+func TestVisitorsStopAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	v := DenseView([]uint64{0, 1, 2, 0}, 2)
+	calls := 0
+	err := v.VisitRows(func(_, _ int, _ uint64) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want boom after 1 call", err, calls)
+	}
+}
+
+func TestSum(t *testing.T) {
+	a, err := FromDense([]uint64{0, 2, 0, 0}, []uint64{0, 10, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromDense([]uint64{0, 1, 3, 0}, []uint64{0, 5, 7, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, by := s.At(0, 1); c != 3 || by != 15 {
+		t.Fatalf("sum(0,1) = %d cnt, %d bytes; want 3, 15", c, by)
+	}
+	if c, by := s.At(1, 0); c != 3 || by != 7 {
+		t.Fatalf("sum(1,0) = %d cnt, %d bytes; want 3, 7", c, by)
+	}
+}
+
+func TestSumErrors(t *testing.T) {
+	if _, err := Sum(); err == nil {
+		t.Fatal("empty sum should error")
+	}
+	a := New(2)
+	b := New(3)
+	if _, err := Sum(a, b); err == nil {
+		t.Fatal("order mismatch should error")
+	}
+}

@@ -206,7 +206,7 @@ func TestReorderingImprovesStencil(t *testing.T) {
 
 		one := cfg
 		one.Iters = 1
-		opt, _, err := reorder.MonitorAndReorder(env, c, nil, func(cc *mpi.Comm) error {
+		opt, _, err := reorder.MonitorAndReorder(env, c, func(cc *mpi.Comm) error {
 			_, err := Run(cc, one)
 			return err
 		})

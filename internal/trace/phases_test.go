@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhasesZeroQuietIsOnePhase(t *testing.T) {
+	evs := []Event{{When: ms(1)}, {When: ms(1)}, {When: ms(900)}}
+	ph := Phases(evs, 0)
+	if len(ph) != 1 || len(ph[0]) != 3 {
+		t.Fatalf("zero quiet: %d phases of sizes %v, want one phase of 3", len(ph), sizes(ph))
+	}
+}
+
+func TestPhasesNegativeQuietIsOnePhase(t *testing.T) {
+	evs := []Event{{When: ms(1)}, {When: ms(500)}}
+	ph := Phases(evs, -time.Second)
+	if len(ph) != 1 || len(ph[0]) != 2 {
+		t.Fatalf("negative quiet: %d phases of sizes %v, want one phase of 2", len(ph), sizes(ph))
+	}
+}
+
+func TestPhasesSingleEvent(t *testing.T) {
+	ph := Phases([]Event{{When: ms(7)}}, time.Nanosecond)
+	if len(ph) != 1 || len(ph[0]) != 1 {
+		t.Fatalf("single event: %d phases of sizes %v, want one phase of 1", len(ph), sizes(ph))
+	}
+}
+
+func TestPhasesUnsortedInput(t *testing.T) {
+	// Same trace as TestPhases, delivered shuffled: Phases must sort by
+	// timestamp before splitting, and leave the input untouched.
+	evs := []Event{
+		{When: ms(500)}, {When: ms(2)}, {When: ms(101)},
+		{When: ms(1)}, {When: ms(100)}, {When: ms(3)},
+	}
+	in := append([]Event(nil), evs...)
+	ph := Phases(evs, 50*time.Millisecond)
+	if len(ph) != 3 || len(ph[0]) != 3 || len(ph[1]) != 2 || len(ph[2]) != 1 {
+		t.Fatalf("unsorted input: %d phases of sizes %v, want 3/2/1", len(ph), sizes(ph))
+	}
+	for i, p := range ph {
+		for k := 1; k < len(p); k++ {
+			if p[k].When < p[k-1].When {
+				t.Fatalf("phase %d not chronological: %v", i, p)
+			}
+		}
+	}
+	for i := range in {
+		if evs[i] != in[i] {
+			t.Fatal("Phases mutated its input")
+		}
+	}
+}
+
+func TestPhasesBackToBackGapExactlyQuiet(t *testing.T) {
+	// The gap test is inclusive (>= quiet), matching the online drift
+	// trigger's convention: events exactly quiet apart start a new phase.
+	quiet := 10 * time.Millisecond
+	evs := []Event{{When: ms(0)}, {When: ms(10)}, {When: ms(20)}}
+	ph := Phases(evs, quiet)
+	if len(ph) != 3 {
+		t.Fatalf("exactly-quiet gaps: %d phases of sizes %v, want 3 singletons", len(ph), sizes(ph))
+	}
+	// One nanosecond under the threshold keeps the events together.
+	ph = Phases(evs, quiet+time.Nanosecond)
+	if len(ph) != 1 || len(ph[0]) != 3 {
+		t.Fatalf("sub-quiet gaps: %d phases of sizes %v, want one phase of 3", len(ph), sizes(ph))
+	}
+}
+
+func sizes(ph [][]Event) []int {
+	out := make([]int, len(ph))
+	for i := range ph {
+		out[i] = len(ph[i])
+	}
+	return out
+}

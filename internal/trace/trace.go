@@ -127,13 +127,22 @@ func Matrix(evs []Event, n int) ([]uint64, error) {
 
 // Phases splits a trace at gaps of at least quiet between consecutive
 // events — a simple phase detector (the "selecting points of interest"
-// idea of the EZtrace line of work).
+// idea of the EZtrace line of work). The input need not be sorted (events
+// are ordered by timestamp first, stably). A single event is a single
+// phase; back-to-back events exactly quiet apart split (the gap test is
+// >= quiet, matching the online drift trigger's >=-threshold convention).
+// A non-positive quiet disables splitting entirely and the whole trace is
+// returned as one phase — every pair of timestamps is "at least 0 apart",
+// so anything else would degenerate to one phase per event.
 func Phases(evs []Event, quiet time.Duration) [][]Event {
 	if len(evs) == 0 {
 		return nil
 	}
 	sorted := append([]Event(nil), evs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].When < sorted[j].When })
+	if quiet <= 0 {
+		return [][]Event{sorted}
+	}
 	var phases [][]Event
 	start := 0
 	for i := 1; i < len(sorted); i++ {

@@ -17,6 +17,8 @@ package treematch
 import (
 	"fmt"
 	"sort"
+
+	"mpimon/internal/sparsemat"
 )
 
 // Entry is one off-diagonal affinity of a sparse matrix row.
@@ -128,21 +130,14 @@ func (m *Matrix) TotalWeight() float64 {
 // communication matrix as produced by the monitoring library's
 // AllgatherData/RootgatherData: the affinity between i and j is
 // mat[i*n+j] + mat[j*n+i] (bytes exchanged in both directions).
+//
+// Deprecated: use FromView(sparsemat.DenseView(mat, n)), of which this is
+// a thin wrapper producing a bit-identical matrix.
 func FromBytesMatrix(mat []uint64, n int) (*Matrix, error) {
-	if len(mat) != n*n {
+	if n < 0 || len(mat) != n*n {
 		return nil, fmt.Errorf("treematch: matrix of %d entries is not %d x %d", len(mat), n, n)
 	}
-	m := NewMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			w := float64(mat[i*n+j]) + float64(mat[j*n+i])
-			if w > 0 {
-				m.Add(i, j, w)
-			}
-		}
-	}
-	m.Finish()
-	return m, nil
+	return FromView(sparsemat.DenseView(mat, n))
 }
 
 // Dense returns the symmetric matrix densely (tests and small inputs only).

@@ -1,76 +1,26 @@
 package treematch
 
 import (
-	"fmt"
-
 	"mpimon/internal/sparsemat"
 )
-
-// addSparsePairs folds the symmetric byte affinities of the sparse matrix
-// into m, visiting every unordered pair exactly once. The affinity of
-// (i, j) is float64(bytes i→j) + float64(bytes j→i), added only when
-// positive — the same arithmetic, in the same shape, as FromBytesMatrix,
-// so the resulting affinity matrix is bit-identical to the dense path.
-func addSparsePairs(m *Matrix, sm *sparsemat.Matrix) error {
-	n := sm.N
-	if len(sm.Rows) != n {
-		return fmt.Errorf("treematch: sparse matrix has %d rows for size %d", len(sm.Rows), n)
-	}
-	for i := 0; i < n; i++ {
-		r := sm.Rows[i]
-		if err := r.Validate(n); err != nil {
-			return err
-		}
-		for k, d := range r.Dst {
-			j := int(d)
-			if j == i {
-				continue
-			}
-			if j > i {
-				_, bji := sm.At(j, i)
-				if w := float64(r.Byt[k]) + float64(bji); w > 0 {
-					m.Add(i, j, w)
-				}
-				continue
-			}
-			// j < i: the pair was handled by row j's pass above unless row j
-			// has no entry for i at all (an entry with zero bytes still
-			// claims the pair there).
-			if !sm.Has(j, i) {
-				if w := float64(r.Byt[k]); w > 0 {
-					m.Add(j, i, w)
-				}
-			}
-		}
-	}
-	return nil
-}
 
 // FromSparseRows builds the affinity matrix from a sparse communication
 // matrix as gathered by AllgatherSparse/RootgatherSparse, in O(nnz) time
 // and memory: the dense n² bytes matrix is never materialized. The result
 // is bit-identical to FromBytesMatrix over the densified matrix.
+//
+// Deprecated: use FromView — *sparsemat.Matrix satisfies MatrixView
+// directly, and this wrapper is exactly FromView(sm).
 func FromSparseRows(sm *sparsemat.Matrix) (*Matrix, error) {
-	m := NewMatrix(sm.N)
-	if err := addSparsePairs(m, sm); err != nil {
-		return nil, err
-	}
-	m.Finish()
-	return m, nil
+	return FromView(sm)
 }
 
 // FromSparseRowsPadded is FromSparseRows over a matrix of total ≥ sm.N
 // processes, the extras having no affinity — the zero-padding the elastic
 // reconfiguration uses to let TreeMatch pick which cores the real ranks
 // occupy.
+//
+// Deprecated: use FromViewPadded, of which this is a thin wrapper.
 func FromSparseRowsPadded(sm *sparsemat.Matrix, total int) (*Matrix, error) {
-	if total < sm.N {
-		return nil, fmt.Errorf("treematch: padding %d processes down to %d", sm.N, total)
-	}
-	m := NewMatrix(total)
-	if err := addSparsePairs(m, sm); err != nil {
-		return nil, err
-	}
-	m.Finish()
-	return m, nil
+	return FromViewPadded(sm, total)
 }

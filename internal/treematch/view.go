@@ -1,0 +1,39 @@
+package treematch
+
+import (
+	"fmt"
+
+	"mpimon/internal/sparsemat"
+)
+
+// FromView builds the affinity matrix from any communication-matrix view —
+// the unified constructor behind which the historical dense
+// (FromBytesMatrix) and sparse (FromSparseRows) entry points now sit. The
+// affinity of an unordered pair is float64(i→j bytes) + float64(j→i bytes),
+// added when positive; because the view emits the lower-index direction
+// first and Finish sorts the result, the matrix is bit-identical to both
+// legacy paths. O(nnz) for sparse views, O(n²) for dense ones.
+func FromView(v sparsemat.MatrixView) (*Matrix, error) {
+	return FromViewPadded(v, v.Order())
+}
+
+// FromViewPadded is FromView over a matrix of total ≥ v.Order() processes,
+// the extras having no affinity — the zero-padding elastic reconfiguration
+// uses to let TreeMatch pick which cores the real ranks occupy.
+func FromViewPadded(v sparsemat.MatrixView, total int) (*Matrix, error) {
+	if total < v.Order() {
+		return nil, fmt.Errorf("treematch: padding %d processes down to %d", v.Order(), total)
+	}
+	m := NewMatrix(total)
+	err := v.VisitPairs(func(i, j int, bij, bji uint64) error {
+		if w := float64(bij) + float64(bji); w > 0 {
+			m.Add(i, j, w)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Finish()
+	return m, nil
+}

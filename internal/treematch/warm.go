@@ -1,0 +1,80 @@
+package treematch
+
+import (
+	"fmt"
+
+	"mpimon/internal/topology"
+)
+
+// warmBudget caps the candidate pairs one RefinePlacement pass examines, so
+// a warm refinement on a huge world degrades to fewer passes instead of
+// stalling the control loop (the full kernel has its own refineBudget).
+var warmBudget = 1 << 24
+
+// RefinePlacement is the incremental TreeMatch used by the online
+// re-reordering loop: instead of recomputing a placement from scratch, it
+// warm-starts from prev — the placement the communicator already runs
+// under — and hill-climbs by swapping the cores of process pairs while a
+// swap lowers Cost under the (current) affinity matrix m. The returned
+// placement uses exactly the cores of prev (a permutation of it), costs no
+// more than prev, and equals prev when no improving swap exists — which is
+// what makes "no remap needed" fall out naturally when the matrix has not
+// drifted. Deterministic: fixed scan order, first-improvement acceptance,
+// at most maxPasses sweeps (≤ 0 means one).
+func RefinePlacement(m *Matrix, topo *topology.Topology, prev []int, maxPasses int) ([]int, error) {
+	n := m.N()
+	if len(prev) != n {
+		return nil, fmt.Errorf("treematch: placement of %d cores for %d processes", len(prev), n)
+	}
+	coreOf := append([]int(nil), prev...)
+	if maxPasses <= 0 {
+		maxPasses = 1
+	}
+	m.Finish()
+	const eps = 1e-12
+	budget := warmBudget
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < n; a++ {
+			if len(m.Row(a)) == 0 {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if budget--; budget < 0 {
+					return coreOf, nil
+				}
+				if swapDelta(m, topo, coreOf, a, b) < -eps {
+					coreOf[a], coreOf[b] = coreOf[b], coreOf[a]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return coreOf, nil
+}
+
+// swapDelta is the Cost change of exchanging the cores of processes a and b
+// (negative = improvement), in O(deg(a)+deg(b)): only edges incident to a
+// or b change length, and the a–b edge itself keeps its distance.
+func swapDelta(m *Matrix, topo *topology.Topology, coreOf []int, a, b int) float64 {
+	ca, cb := coreOf[a], coreOf[b]
+	var delta float64
+	for _, e := range m.Row(a) {
+		if e.Col == b {
+			continue
+		}
+		cx := coreOf[e.Col]
+		delta += e.W * float64(topo.Distance(cb, cx)-topo.Distance(ca, cx))
+	}
+	for _, e := range m.Row(b) {
+		if e.Col == a {
+			continue
+		}
+		cx := coreOf[e.Col]
+		delta += e.W * float64(topo.Distance(ca, cx)-topo.Distance(cb, cx))
+	}
+	return delta
+}

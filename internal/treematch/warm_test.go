@@ -1,0 +1,117 @@
+package treematch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpimon/internal/topology"
+)
+
+func TestRefinePlacementFixesPairPattern(t *testing.T) {
+	// Pairs (0,4),(1,5),(2,6),(3,7) heavy on a 2x4 machine with the
+	// packed placement 0-3 / 4-7: every pair is cross-node, and single
+	// swaps can colocate all of them.
+	topo := topology.MustNew(2, 4)
+	m := NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		m.Add(i, i+4, 1000)
+	}
+	prev := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got, err := RefinePlacement(m, topo, prev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := Cost(m, prev, topo), Cost(m, got, topo)
+	if after >= before {
+		t.Fatalf("refinement did not improve: %v -> %v", before, after)
+	}
+	for i := 0; i < 4; i++ {
+		if topo.NodeOf(got[i]) != topo.NodeOf(got[i+4]) {
+			t.Fatalf("pair (%d,%d) still split: placement %v", i, i+4, got)
+		}
+	}
+}
+
+func TestRefinePlacementIdentityWhenStable(t *testing.T) {
+	// Pairs already colocated: no swap improves, so the previous
+	// placement comes back verbatim — the controller's "no remap needed".
+	topo := topology.MustNew(2, 4)
+	m := NewMatrix(8)
+	m.Add(0, 1, 500)
+	m.Add(2, 3, 500)
+	m.Add(4, 5, 500)
+	m.Add(6, 7, 500)
+	prev := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got, err := RefinePlacement(m, topo, prev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prev {
+		if got[i] != prev[i] {
+			t.Fatalf("stable placement changed: %v -> %v", prev, got)
+		}
+	}
+}
+
+func TestRefinePlacementNeverWorsensRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topo := topology.MustNew(2, 2, 2)
+	for trial := 0; trial < 25; trial++ {
+		n := 8
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) > 0 {
+					m.Add(i, j, float64(rng.Intn(1000)))
+				}
+			}
+		}
+		prev := rng.Perm(n)
+		got, err := RefinePlacement(m, topo, prev, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c0, c1 := Cost(m, prev, topo), Cost(m, got, topo); c1 > c0 {
+			t.Fatalf("trial %d: refinement worsened cost %v -> %v", trial, c0, c1)
+		}
+		// The refined placement must use exactly the previous cores.
+		a, b := append([]int(nil), prev...), append([]int(nil), got...)
+		sort.Ints(a)
+		sort.Ints(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: not a permutation of prev: %v vs %v", trial, prev, got)
+			}
+		}
+	}
+}
+
+func TestRefinePlacementLengthMismatch(t *testing.T) {
+	topo := topology.MustNew(2, 2)
+	m := NewMatrix(4)
+	if _, err := RefinePlacement(m, topo, []int{0, 1}, 1); err == nil {
+		t.Fatal("short placement should error")
+	}
+}
+
+func TestRefinePlacementBudgetExhaustion(t *testing.T) {
+	old := warmBudget
+	warmBudget = 3
+	defer func() { warmBudget = old }()
+	topo := topology.MustNew(2, 4)
+	m := NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		m.Add(i, i+4, 1000)
+	}
+	prev := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got, err := RefinePlacement(m, topo, prev, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 3 candidate pairs examined the result must still be valid
+	// and no worse, just possibly unimproved.
+	if c0, c1 := Cost(m, prev, topo), Cost(m, got, topo); c1 > c0 {
+		t.Fatalf("budget-capped refinement worsened cost %v -> %v", c0, c1)
+	}
+}

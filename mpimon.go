@@ -12,6 +12,7 @@ import (
 	"mpimon/internal/monitoring"
 	"mpimon/internal/mpi"
 	"mpimon/internal/netsim"
+	"mpimon/internal/online"
 	"mpimon/internal/pml"
 	"mpimon/internal/predict"
 	"mpimon/internal/reorder"
@@ -273,6 +274,9 @@ var (
 	// ReorderNoIdentityFallback propagates mapping failure instead of
 	// degrading to the identity permutation.
 	ReorderNoIdentityFallback = reorder.WithoutIdentityFallback
+	// ReorderWithOptions applies a prebuilt ReorderOptions struct — the
+	// bridge from the deprecated positional signature.
+	ReorderWithOptions = reorder.WithOptions
 )
 
 // NewTopology builds a balanced hardware tree from per-level arities.
@@ -294,9 +298,19 @@ func InitMonitoring(p *Proc) (*Env, error) { return monitoring.Init(p) }
 
 // MonitorAndReorder implements the paper's Fig. 1: monitor phase(comm),
 // compute a TreeMatch permutation from the observed communication matrix,
-// and return the reordered communicator and the permutation k.
-func MonitorAndReorder(env *Env, comm *Comm, opts *ReorderOptions, phase func(*Comm) error) (*Comm, []int, error) {
-	return reorder.MonitorAndReorder(env, comm, opts, phase)
+// and return the reordered communicator and the permutation k. Options are
+// functional (Reorder* constructors), consistent with NewReorderOptions.
+func MonitorAndReorder(env *Env, comm *Comm, phase func(*Comm) error, opts ...ReorderOpt) (*Comm, []int, error) {
+	return reorder.MonitorAndReorder(env, comm, phase, opts...)
+}
+
+// MonitorAndReorderOptions is MonitorAndReorder with the historical
+// positional options struct; nil means the defaults.
+//
+// Deprecated: use MonitorAndReorder(env, comm, phase, opts...) — with
+// ReorderWithOptions(o) when an options struct is already in hand.
+func MonitorAndReorderOptions(env *Env, comm *Comm, opts *ReorderOptions, phase func(*Comm) error) (*Comm, []int, error) {
+	return reorder.MonitorAndReorderOptions(env, comm, opts, phase)
 }
 
 // ReorderFromSession reorders using an already-suspended session.
@@ -310,11 +324,101 @@ func Redistribute(comm *Comm, k []int, data []byte) ([]byte, error) {
 	return reorder.Redistribute(comm, k, data)
 }
 
-// ComputeMapping is the paper's compute_mapping: bytes matrix + topology +
-// placement to the permutation k (runs on the root rank).
-func ComputeMapping(mat []uint64, n int, topo *Topology, place []int) ([]int, error) {
-	return reorder.ComputeMapping(mat, n, topo, place)
+// MatrixView is the unified read-only communication-matrix view the
+// mapping layer consumes: a gathered *SparseMatrix satisfies it directly,
+// and a row-major dense bytes matrix is adapted with DenseMatrixView.
+type MatrixView = sparsemat.MatrixView
+
+// DenseMatrixView adapts a row-major n-by-n bytes matrix to MatrixView
+// without copying it.
+func DenseMatrixView(mat []uint64, n int) MatrixView { return sparsemat.DenseView(mat, n) }
+
+// ComputeMapping is the paper's compute_mapping: communication matrix +
+// topology + placement to the permutation k (runs on the root rank). It
+// accepts any MatrixView — a gathered sparse matrix or DenseMatrixView.
+func ComputeMapping(v MatrixView, topo *Topology, place []int) ([]int, error) {
+	return reorder.ComputeMapping(v, topo, place)
 }
+
+// ComputeMappingDense is ComputeMapping over a row-major dense matrix.
+//
+// Deprecated: use ComputeMapping(DenseMatrixView(mat, n), topo, place).
+func ComputeMappingDense(mat []uint64, n int, topo *Topology, place []int) ([]int, error) {
+	return reorder.ComputeMappingDense(mat, n, topo, place)
+}
+
+// ComputeMappingWarm refines the placement the communicator already runs
+// under instead of recomputing it from scratch — the incremental TreeMatch
+// of the online re-reordering loop.
+func ComputeMappingWarm(v MatrixView, topo *Topology, place []int, passes int) ([]int, error) {
+	return reorder.ComputeMappingWarm(v, topo, place, passes)
+}
+
+// Online re-reordering (package online): the introspection loop closed —
+// monitor a window, measure matrix drift, re-reorder when it pays.
+
+// OnlineController drives drift-triggered re-reordering; every rank
+// constructs one with NewOnlineController and calls Step once per
+// application window.
+type OnlineController = online.Controller
+
+// OnlineDecision records what one controller Step decided.
+type OnlineDecision = online.Decision
+
+// OnlineOption is one functional option of NewOnlineController.
+type OnlineOption = online.Option
+
+// NewOnlineController starts a monitoring session on comm and returns the
+// per-rank controller of the online re-reordering loop.
+func NewOnlineController(env *Env, comm *Comm, opts ...OnlineOption) (*OnlineController, error) {
+	return online.New(env, comm, opts...)
+}
+
+// Online controller options.
+var (
+	// OnlineWindow sets the sliding window's epoch capacity.
+	OnlineWindow = online.WithWindow
+	// OnlineDriftThreshold sets the drift that triggers a remap decision
+	// (inclusive boundary).
+	OnlineDriftThreshold = online.WithDriftThreshold
+	// OnlineFullRemapDrift sets the drift above which a full TreeMatch
+	// replaces the warm-started refinement.
+	OnlineFullRemapDrift = online.WithFullRemapDrift
+	// OnlineWarmPasses bounds the warm refinement's swap passes.
+	OnlineWarmPasses = online.WithWarmPasses
+	// OnlineHorizon sets how many windows amortize a remap's cost.
+	OnlineHorizon = online.WithHorizon
+	// OnlineFlags selects the monitored communication classes.
+	OnlineFlags = online.WithFlags
+	// OnlineStateBytes declares each rank's migration payload for the
+	// remap-cost model.
+	OnlineStateBytes = online.WithStateBytes
+	// OnlineLinkBandwidth sets the migration model's link bandwidth.
+	OnlineLinkBandwidth = online.WithLinkBandwidth
+	// OnlineInitialRemapCost seeds the remap-cost estimate.
+	OnlineInitialRemapCost = online.WithInitialRemapCost
+	// OnlineMaxRemaps caps the controller's remap count.
+	OnlineMaxRemaps = online.WithMaxRemaps
+	// OnlineChargeMappingTime toggles charging mapping time virtually.
+	OnlineChargeMappingTime = online.WithChargeMappingTime
+	// OnlineFixedMappingTime charges a fixed virtual mapping duration.
+	OnlineFixedMappingTime = online.WithFixedMappingTime
+)
+
+// MatrixDrift measures how far the current communication matrix diverged
+// from a reference (L1 distance of symmetric affinities, normalized;
+// range [0, 2]).
+func MatrixDrift(ref, cur MatrixView) (float64, error) { return online.Drift(ref, cur) }
+
+// TracePhaseMatrices folds each quiet-gap-separated phase of a trace into
+// its own sparse communication matrix.
+func TracePhaseMatrices(evs []TraceEvent, n int, quiet time.Duration) ([]*SparseMatrix, error) {
+	return online.PhaseMatrices(evs, n, quiet)
+}
+
+// TracePhaseDrifts measures the drift between consecutive phase matrices —
+// the offline answer to "would the online controller have re-reordered?".
+func TracePhaseDrifts(ms []*SparseMatrix) ([]float64, error) { return online.PhaseDrifts(ms) }
 
 // Sparse communication-matrix types (package sparsemat): the O(nnz)
 // representation the monitoring gathers ship and large-world consumers
@@ -329,21 +433,40 @@ type (
 
 // ComputeMappingSparse is ComputeMapping over a sparse matrix gathered by
 // Session.RootgatherSparse: same permutation, O(nnz) memory.
+//
+// Deprecated: use ComputeMapping — *SparseMatrix satisfies MatrixView.
 func ComputeMappingSparse(sm *SparseMatrix, topo *Topology, place []int) ([]int, error) {
 	return reorder.ComputeMappingSparse(sm, topo, place)
 }
 
 // ReconfigureSparse is Reconfigure over a sparse matrix: same plan, O(nnz)
 // memory.
+//
+// Deprecated: use ReconfigureFromView — *SparseMatrix satisfies MatrixView.
 func ReconfigureSparse(sm *SparseMatrix, topo *Topology, oldPlace, avail []int, stateBytes int64) (ReconfigPlan, error) {
 	return elastic.ReconfigureSparse(sm, topo, oldPlace, avail, stateBytes)
+}
+
+// ReconfigureFromView is Reconfigure over any MatrixView — the unified
+// entry point serving both dense and sparse matrices.
+func ReconfigureFromView(v MatrixView, topo *Topology, oldPlace, avail []int, stateBytes int64) (ReconfigPlan, error) {
+	return elastic.ReconfigureView(v, topo, oldPlace, avail, stateBytes)
 }
 
 // CommMatrixFromSparse builds the TreeMatch affinity matrix from a sparse
 // communication matrix, bit-identical to CommMatrixFromBytes over the
 // densified matrix but without touching n² memory.
+//
+// Deprecated: use CommMatrixFromView — *SparseMatrix satisfies MatrixView.
 func CommMatrixFromSparse(sm *SparseMatrix) (*CommMatrix, error) {
 	return treematch.FromSparseRows(sm)
+}
+
+// CommMatrixFromView builds the TreeMatch affinity matrix from any
+// MatrixView — the unified constructor behind CommMatrixFromBytes and
+// CommMatrixFromSparse.
+func CommMatrixFromView(v MatrixView) (*CommMatrix, error) {
+	return treematch.FromView(v)
 }
 
 // SummarizeSparseMatrix computes matrix aggregates from the bytes plane of
@@ -548,7 +671,13 @@ func RunStencil(c *Comm, cfg StencilConfig) (StencilResult, error) { return sten
 // previous run's communication matrix (the static strategy of Mercier &
 // Jeannot that the paper's dynamic reordering improves upon).
 func StaticPlacementFromMatrix(mat []uint64, n int, topo *Topology, cores []int) ([]int, error) {
-	return reorder.StaticPlacement(mat, n, topo, cores)
+	return reorder.StaticPlacement(sparsemat.DenseView(mat, n), topo, cores)
+}
+
+// StaticPlacementFromView is StaticPlacementFromMatrix over any MatrixView
+// (a gathered sparse matrix works directly).
+func StaticPlacementFromView(v MatrixView, topo *Topology, cores []int) ([]int, error) {
+	return reorder.StaticPlacement(v, topo, cores)
 }
 
 // Elastic reconfiguration (the paper's Sec. 7 node-failure use case).

@@ -68,7 +68,7 @@ func TestFacadeReorderingImprovesPlacementCost(t *testing.T) {
 			_, err := cc.Sendrecv(partner, 0, make([]byte, 1<<16), partner, 0, make([]byte, 1<<16))
 			return err
 		}
-		opt, k, err := MonitorAndReorder(env, c, &ReorderOptions{Flags: AllComm, FixedMappingTime: time.Microsecond}, phase)
+		opt, k, err := MonitorAndReorder(env, c, phase, ReorderFlags(AllComm), ReorderFixedMappingTime(time.Microsecond))
 		if err != nil {
 			return err
 		}
@@ -276,7 +276,7 @@ func TestFacadeWrapperCoverage(t *testing.T) {
 	if m2, err := CommMatrixFromBytes([]uint64{0, 1, 2, 0}, 2); err != nil || m2.Affinity(0, 1) != 3 {
 		t.Fatal("CommMatrixFromBytes wrapper")
 	}
-	if k, err := ComputeMapping([]uint64{0, 1, 2, 0}, 2, topo, []int{0, 1}); err != nil || len(k) != 2 {
+	if k, err := ComputeMapping(DenseMatrixView([]uint64{0, 1, 2, 0}, 2), topo, []int{0, 1}); err != nil || len(k) != 2 {
 		t.Fatal("ComputeMapping wrapper")
 	}
 }
@@ -374,5 +374,89 @@ func TestFacadeCartAndStencil2D(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFacadeOnlineController(t *testing.T) {
+	// The online loop through the public API: a ring workload that flips
+	// direction-distance mid-run; the controller must produce an initial
+	// mapping and keep stepping across the remap.
+	const np = 8
+	rr := make([]int, np)
+	for i := range rr {
+		rr[i] = (i%2)*24 + i/2 // spread across both PlaFRIM nodes
+	}
+	w, err := NewWorld(PlaFRIM(2), np, WithPlacement(rr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows, remaps int
+	err = w.RunWithTimeout(time.Minute, func(c *Comm) error {
+		env, err := InitMonitoring(c.Proc())
+		if err != nil {
+			return err
+		}
+		defer env.Finalize()
+		ctl, err := NewOnlineController(env, c,
+			OnlineWindow(1), OnlineFixedMappingTime(time.Microsecond))
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		phase := func(stride int) func(*Comm) error {
+			return func(cc *Comm) error {
+				partner := (cc.Rank() + stride) % cc.Size()
+				_, err := cc.SendrecvN(partner, 0, 32<<10, (cc.Rank()-stride+cc.Size())%cc.Size(), 0)
+				return err
+			}
+		}
+		for _, stride := range []int{1, 1, 4, 4} {
+			if _, _, err := ctl.Step(phase(stride)); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			windows, remaps = ctl.Windows(), ctl.Remaps()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != 4 {
+		t.Fatalf("controller saw %d windows, want 4", windows)
+	}
+	if remaps < 1 {
+		t.Fatalf("controller never remapped")
+	}
+}
+
+func TestFacadeDriftAndPhases(t *testing.T) {
+	a := DenseMatrixView([]uint64{0, 10, 0, 0}, 2)
+	b := DenseMatrixView([]uint64{0, 0, 10, 0}, 2)
+	d, err := MatrixDrift(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("drift of symmetric mirror = %v, want 0 (pairs fold)", d)
+	}
+	evs := []TraceEvent{
+		{Rank: 0, Dst: 1, Bytes: 5, When: time.Millisecond},
+		{Rank: 1, Dst: 2, Bytes: 5, When: time.Second},
+	}
+	mats, err := TracePhaseMatrices(evs, 3, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 2 {
+		t.Fatalf("%d phase matrices, want 2", len(mats))
+	}
+	drifts, err := TracePhaseDrifts(mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifts) != 1 || drifts[0] != 2 {
+		t.Fatalf("phase drifts = %v, want [2]", drifts)
 	}
 }
