@@ -4,6 +4,7 @@ GATHEROUT ?= results/BENCH_gather.json
 SERVEOUT ?= results/BENCH_serve.json
 ENGINEOUT ?= results/BENCH_engine.json
 COMMITOUT ?= results/BENCH_commitagg.json
+COLLOUT ?= results/BENCH_coll.json
 
 .PHONY: build test vet race bench benchsmoke apicheck ci
 
@@ -22,10 +23,12 @@ test:
 # / ULFM recovery layer (deterministic injector + Revoke/Shrink/Agree),
 # the monitoring daemon's concurrent ingest/read service, the
 # commit-on-threshold aggregation layer (concurrent producers vs forced
-# barrier flushes) with the pml fold it fronts, and the reorder/online
-# control loops (SPMD controllers stepping concurrently over all ranks).
+# barrier flushes) with the pml fold it fronts, the reorder/online
+# control loops (SPMD controllers stepping concurrently over all ranks),
+# and the collective algorithm portfolio (per-callsite profiler shared by
+# all ranks; cross-engine pins at np=256).
 race:
-	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc ./internal/commitagg ./internal/pml ./internal/reorder ./internal/online
+	$(GO) test -race ./internal/telemetry ./internal/mpi ./internal/monitoring ./internal/netsim ./internal/netsim/event ./internal/treematch ./internal/faults ./internal/elastic ./internal/monsvc ./internal/commitagg ./internal/pml ./internal/reorder ./internal/online ./internal/coll
 
 # apicheck pins the root package's exported API: the surface extracted by
 # cmd/apisurface must match the golden listing in docs/api_surface.txt.
@@ -60,7 +63,11 @@ bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkCommitAgg' -benchmem ./internal/commitagg | tee -a $$tmp5 && \
 	$(GO) test -run '^$$' -bench '^BenchmarkCommitAggRowExport$$' -benchmem ./internal/monitoring | tee -a $$tmp5 && \
 	$(GO) run ./cmd/benchjson -out $(COMMITOUT) < $$tmp5 && \
-	rm -f $$tmp5 && echo "wrote $(COMMITOUT)"
+	rm -f $$tmp5 && echo "wrote $(COMMITOUT)" && \
+	tmp6=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench '^BenchmarkCollPortfolio$$' -benchmem . | tee -a $$tmp6 && \
+	$(GO) run ./cmd/benchjson -out $(COLLOUT) < $$tmp6 && \
+	rm -f $$tmp6 && echo "wrote $(COLLOUT)"
 
 # benchsmoke compiles and runs every benchmark exactly once so the harness
 # cannot bit-rot; it measures nothing.

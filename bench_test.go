@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mpimon/internal/coll"
 	"mpimon/internal/exp"
 	"mpimon/internal/hwcount"
 	"mpimon/internal/mpi"
@@ -646,4 +647,39 @@ func BenchmarkStencil2DReorder(b *testing.B) {
 		opt = measure(true)
 	}
 	b.ReportMetric(float64(base)/float64(opt), "comm_ratio")
+}
+
+// BenchmarkCollPortfolio measures every algorithm of the collective
+// portfolio at np=48 on the paper's cluster model — one sub-benchmark per
+// (operation, algorithm), reporting the virtual collective time as a
+// custom metric so results/BENCH_coll.json tracks the simulated cost next
+// to the harness's wall time.
+func BenchmarkCollPortfolio(b *testing.B) {
+	const np = 48
+	const size = 96 << 10 // straddles the eager limit; divisible by np
+	for _, op := range coll.Ops() {
+		for _, alg := range coll.Algorithms(op) {
+			op, alg := op, alg
+			b.Run(string(op)+"-"+string(alg), func(b *testing.B) {
+				w, err := mpi.NewWorld(netsim.PlaFRIM(2), np)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := w.Run(func(c *mpi.Comm) error {
+					for i := 0; i < b.N; i++ {
+						if err := coll.Run(c, op, alg, size); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(w.MaxClock().Nanoseconds())/float64(b.N)/1000, "virt_us/op")
+			})
+		}
+	}
 }

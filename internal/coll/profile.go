@@ -1,0 +1,129 @@
+package coll
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Profiler histograms the per-destination counts of vector collectives
+// (alltoallv/allgatherv) per callsite, in the spirit of
+// collective_profiler's srcountsanalyzer: most HPC codes call the same
+// alltoallv from a handful of sites with wildly different sparsity, and
+// the bin signature tells the autotuner whether a dense (Bruck) or sparse
+// (pairwise) algorithm fits. Bins are upper-inclusive byte-count bounds;
+// counts above the last bound land in a +Inf bucket. Safe for concurrent
+// use by all ranks of a world.
+type Profiler struct {
+	bounds []int
+	mu     sync.Mutex
+	sites  map[string]*SiteStats
+}
+
+// DefaultBins mirror collective_profiler's getbins defaults: zero,
+// small, medium, large message classes.
+var DefaultBins = []int{0, 64, 512, 4096, 65536}
+
+// NewProfiler builds a profiler with the given ascending bin bounds
+// (DefaultBins when none given).
+func NewProfiler(bounds ...int) *Profiler {
+	if len(bounds) == 0 {
+		bounds = DefaultBins
+	}
+	b := append([]int(nil), bounds...)
+	sort.Ints(b)
+	return &Profiler{bounds: b, sites: make(map[string]*SiteStats)}
+}
+
+// SiteStats aggregates one callsite's count distribution.
+type SiteStats struct {
+	Site  string
+	Calls int      // Record invocations
+	Bins  []uint64 // len(bounds)+1; Bins[i] counts entries ≤ bounds[i], last is overflow
+	Zeros uint64   // entries that were exactly 0 (also tallied in their bin)
+	Min   int
+	Max   int
+	Sum   uint64
+	N     uint64 // total entries observed
+}
+
+// Record tallies one call's per-destination counts at the site.
+func (p *Profiler) Record(site string, counts []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.sites[site]
+	if s == nil {
+		s = &SiteStats{Site: site, Bins: make([]uint64, len(p.bounds)+1), Min: -1}
+		p.sites[site] = s
+	}
+	s.Calls++
+	for _, c := range counts {
+		// First bound ≥ c is the upper-inclusive bin; past the last
+		// bound, SearchInts returns len(bounds) — the overflow bucket.
+		s.Bins[sort.SearchInts(p.bounds, c)]++
+		if c == 0 {
+			s.Zeros++
+		}
+		if s.Min < 0 || c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+		s.Sum += uint64(c)
+		s.N++
+	}
+}
+
+// Bounds returns the profiler's bin bounds.
+func (p *Profiler) Bounds() []int { return append([]int(nil), p.bounds...) }
+
+// Sites returns a snapshot of every recorded site, sorted by name.
+func (p *Profiler) Sites() []SiteStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SiteStats, 0, len(p.sites))
+	for _, s := range p.sites {
+		cp := *s
+		cp.Bins = append([]uint64(nil), s.Bins...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Sparsity returns the fraction of observed entries that were zero —
+// the signal distinguishing sparse neighbor exchanges from dense
+// all-to-all traffic.
+func (s *SiteStats) Sparsity() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Zeros) / float64(s.N)
+}
+
+// WriteTSV dumps per-site bin histograms.
+func (p *Profiler) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# site\tcalls\tentries\tzeros\tmin\tmax\tsum"); err != nil {
+		return err
+	}
+	for _, b := range p.bounds {
+		fmt.Fprintf(w, "\t<=%d", b)
+	}
+	fmt.Fprintf(w, "\t>%d\n", p.bounds[len(p.bounds)-1])
+	for _, s := range p.Sites() {
+		min := s.Min
+		if min < 0 {
+			min = 0
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d", s.Site, s.Calls, s.N, s.Zeros, min, s.Max, s.Sum)
+		for _, b := range s.Bins {
+			fmt.Fprintf(w, "\t%d", b)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package coll
+
+import (
+	"mpimon/internal/mpi"
+	"mpimon/internal/telemetry"
+)
+
+// Comm wraps an mpi.Comm with a tuned algorithm table: each collective
+// entry point picks the table's cheapest algorithm for the actual message
+// size and rank count, records the choice in per-algorithm telemetry
+// counters, and — for alltoallv — feeds the count-bin profiler. A nil
+// table always dispatches Default, so Wrap(c, nil, ...) is a transparent
+// pass-through with accounting.
+type Comm struct {
+	C     *mpi.Comm
+	table *Table
+	prof  *Profiler
+	reg   *telemetry.Registry
+}
+
+// Wrap builds a tuned communicator. reg and prof may be nil to disable
+// counter accounting or profiling respectively.
+func Wrap(c *mpi.Comm, t *Table, reg *telemetry.Registry, prof *Profiler) *Comm {
+	if reg != nil {
+		reg.SetHelp("coll_algo_calls", "Collective calls dispatched, by operation and picked algorithm.")
+		reg.SetHelp("coll_algo_bytes", "Payload bytes carried per operation and picked algorithm.")
+	}
+	return &Comm{C: c, table: t, prof: prof, reg: reg}
+}
+
+// Profiler returns the wrapper's count-bin profiler (nil if disabled).
+func (tc *Comm) Profiler() *Profiler { return tc.prof }
+
+func (tc *Comm) pick(op Op, size int) Algorithm {
+	if tc.table == nil {
+		return Default
+	}
+	return tc.table.Pick(op, tc.C.Size(), size)
+}
+
+func (tc *Comm) account(op Op, alg Algorithm, bytes int) {
+	if tc.reg == nil {
+		return
+	}
+	lbl := []telemetry.Label{telemetry.L("op", string(op)), telemetry.L("alg", string(alg))}
+	tc.reg.Counter("coll_algo_calls", lbl...).Inc()
+	tc.reg.Counter("coll_algo_bytes", lbl...).Add(uint64(bytes))
+}
+
+// Allreduce dispatches the tuned allreduce variant for len(send) bytes.
+func (tc *Comm) Allreduce(send, recv []byte, dt mpi.Datatype, op mpi.Op) error {
+	alg := tc.pick(OpAllreduce, len(send))
+	tc.account(OpAllreduce, alg, len(send))
+	return Allreduce(tc.C, alg, send, recv, dt, op)
+}
+
+// Bcast dispatches the tuned bcast variant.
+func (tc *Comm) Bcast(buf []byte, root int) error {
+	alg := tc.pick(OpBcast, len(buf))
+	tc.account(OpBcast, alg, len(buf))
+	return Bcast(tc.C, alg, buf, root)
+}
+
+// Allgather dispatches the tuned allgather variant; the table size key is
+// the full gathered payload, matching how the tuner measured it.
+func (tc *Comm) Allgather(send, recv []byte) error {
+	alg := tc.pick(OpAllgather, len(recv))
+	tc.account(OpAllgather, alg, len(recv))
+	return Allgather(tc.C, alg, send, recv)
+}
+
+// Reduce dispatches the tuned reduce variant.
+func (tc *Comm) Reduce(send, recv []byte, dt mpi.Datatype, op mpi.Op, root int) error {
+	alg := tc.pick(OpReduce, len(send))
+	tc.account(OpReduce, alg, len(send))
+	return Reduce(tc.C, alg, send, recv, dt, op, root)
+}
+
+// Alltoallv dispatches the tuned alltoallv variant and histograms the
+// send counts under the given callsite label (skipped when empty or no
+// profiler is attached).
+func (tc *Comm) Alltoallv(site string, send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
+	total := 0
+	for _, n := range scounts {
+		total += n
+	}
+	if tc.prof != nil && site != "" {
+		tc.prof.Record(site, scounts)
+	}
+	alg := tc.pick(OpAlltoallv, total)
+	tc.account(OpAlltoallv, alg, total)
+	return Alltoallv(tc.C, alg, send, scounts, sdispls, recv, rcounts, rdispls)
+}

@@ -30,7 +30,10 @@ func (c *Comm) AllreduceRD(send, recv []byte, dt Datatype, op Op) error {
 	defer c.span("allreduce.rd")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.allreduceRD(send, recv, dt, op))
+}
 
+func (c *Comm) allreduceRD(send, recv []byte, dt Datatype, op Op) error {
 	if len(recv) != len(send) {
 		return fmt.Errorf("mpi: allreduce buffers differ in length (%d vs %d)", len(send), len(recv))
 	}
@@ -123,7 +126,10 @@ func (c *Comm) ReduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
 	defer c.span("reduce_scatter_block")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.reduceScatterBlock(send, recv, dt, op))
+}
 
+func (c *Comm) reduceScatterBlock(send, recv []byte, dt Datatype, op Op) error {
 	n := len(c.group)
 	if len(send)%n != 0 {
 		return fmt.Errorf("mpi: reduce-scatter buffer of %d bytes is not divisible by %d ranks", len(send), n)
@@ -159,7 +165,10 @@ func (c *Comm) Scan(send, recv []byte, dt Datatype, op Op) error {
 	defer c.span("scan")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.scan(send, recv, dt, op))
+}
 
+func (c *Comm) scan(send, recv []byte, dt Datatype, op Op) error {
 	if len(recv) != len(send) {
 		return fmt.Errorf("mpi: scan buffers differ in length (%d vs %d)", len(send), len(recv))
 	}
@@ -190,7 +199,10 @@ func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 	defer c.span("exscan")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.exscan(send, recv, dt, op))
+}
 
+func (c *Comm) exscan(send, recv []byte, dt Datatype, op Op) error {
 	if len(recv) != len(send) {
 		return fmt.Errorf("mpi: exscan buffers differ in length (%d vs %d)", len(send), len(recv))
 	}
@@ -202,17 +214,27 @@ func (c *Comm) Exscan(send, recv []byte, dt Datatype, op Op) error {
 		if _, err := c.recvOn(ctx, c.rank-1, tagScan, prefix); err != nil {
 			return err
 		}
-		copy(recv, prefix)
 	}
 	if c.rank < n-1 {
 		if prefix == nil {
-			return c.sendCopyOn(ctx, c.rank+1, tagScan, send)
+			if err := c.sendCopyOn(ctx, c.rank+1, tagScan, send); err != nil {
+				return err
+			}
+		} else {
+			// Fold send into the outgoing prefix before recv is written,
+			// so an aliased recv (send == recv) still reads the original
+			// contribution.
+			tmp := append([]byte(nil), prefix...)
+			if err := reduceInto(tmp, send, dt, op); err != nil {
+				return err
+			}
+			if err := c.sendOn(ctx, c.rank+1, tagScan, tmp, len(tmp)); err != nil {
+				return err
+			}
 		}
-		tmp := append([]byte(nil), prefix...)
-		if err := reduceInto(tmp, send, dt, op); err != nil {
-			return err
-		}
-		return c.sendOn(ctx, c.rank+1, tagScan, tmp, len(tmp))
+	}
+	if prefix != nil {
+		copy(recv, prefix)
 	}
 	return nil
 }
@@ -227,7 +249,10 @@ func (c *Comm) BcastSAG(buf []byte, root int) error {
 	defer c.span("bcast.sag")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.bcastSAG(buf, root))
+}
 
+func (c *Comm) bcastSAG(buf []byte, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err
@@ -305,18 +330,23 @@ func (c *Comm) BcastSAG(buf []byte, root int) error {
 
 // AllgatherRD is the recursive-doubling allgather for power-of-two groups:
 // log2(n) rounds exchanging doubling block ranges. Falls back to the ring
-// algorithm otherwise.
+// algorithm otherwise (same accounting: the call is still bracketed by its
+// own span and MPI-time window, so the fallback does not masquerade as a
+// plain Allgather).
 func (c *Comm) AllgatherRD(send, recv []byte) error {
-	n := len(c.group)
-	if n&(n-1) != 0 {
-		return c.Allgather(send, recv)
-	}
 	t0 := c.p.enterMPI()
 	defer c.p.leaveMPI(t0)
 	defer c.span("allgather.rd")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.allgatherRD(send, recv))
+}
 
+func (c *Comm) allgatherRD(send, recv []byte) error {
+	n := len(c.group)
+	if n&(n-1) != 0 {
+		return c.allgather(send, recv)
+	}
 	blk := len(send)
 	if len(recv) != n*blk {
 		return fmt.Errorf("mpi: allgather recv buffer has %d bytes, want %d", len(recv), n*blk)
@@ -351,7 +381,10 @@ func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int)
 	defer c.span("gatherv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.gatherv(send, recv, counts, displs, root))
+}
 
+func (c *Comm) gatherv(send []byte, recv []byte, counts, displs []int, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err
@@ -393,7 +426,10 @@ func (c *Comm) Scatterv(send []byte, counts, displs []int, recv []byte, root int
 	defer c.span("scatterv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.scatterv(send, counts, displs, recv, root))
+}
 
+func (c *Comm) scatterv(send []byte, counts, displs []int, recv []byte, root int) error {
 	n := len(c.group)
 	if err := c.checkRank(root, "root"); err != nil {
 		return err

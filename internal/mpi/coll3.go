@@ -17,7 +17,12 @@ func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcoun
 	defer c.span("alltoallv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.alltoallv(send, scounts, sdispls, recv, rcounts, rdispls))
+}
 
+// checkAlltoallvArgs validates the four count/displacement slices against
+// the buffers; shared by the pairwise and Bruck algorithms.
+func (c *Comm) checkAlltoallvArgs(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
 	n := len(c.group)
 	for name, s := range map[string][]int{"scounts": scounts, "sdispls": sdispls, "rcounts": rcounts, "rdispls": rdispls} {
 		if len(s) != n {
@@ -31,6 +36,14 @@ func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcoun
 		if rdispls[j] < 0 || rcounts[j] < 0 || rdispls[j]+rcounts[j] > len(recv) {
 			return fmt.Errorf("mpi: alltoallv recv block %d [%d,%d) outside buffer of %d bytes", j, rdispls[j], rdispls[j]+rcounts[j], len(recv))
 		}
+	}
+	return nil
+}
+
+func (c *Comm) alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
+	n := len(c.group)
+	if err := c.checkAlltoallvArgs(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return err
 	}
 	ctx := c.collCtx()
 	copy(recv[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]], send[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
@@ -124,7 +137,10 @@ func (c *Comm) Allgatherv(send []byte, recv []byte, counts, displs []int) error 
 	defer c.span("allgatherv")()
 	c.p.beginInternal()
 	defer c.p.endInternal()
+	return c.herr(c.allgatherv(send, recv, counts, displs))
+}
 
+func (c *Comm) allgatherv(send []byte, recv []byte, counts, displs []int) error {
 	n := len(c.group)
 	if len(counts) != n || len(displs) != n {
 		return fmt.Errorf("mpi: allgatherv needs %d counts and displs, got %d/%d", n, len(counts), len(displs))

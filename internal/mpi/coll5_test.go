@@ -1,0 +1,453 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// engines lists the execution engines every algorithm test runs on; the
+// nil entry is the default goroutine engine.
+func testEngines(t *testing.T) map[string]Engine {
+	t.Helper()
+	ev, err := EngineByName("event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Engine{"goroutine": nil, "event": ev}
+}
+
+func newEngineWorld(t *testing.T, np int, e Engine, opts ...Option) *World {
+	t.Helper()
+	if e != nil {
+		opts = append(opts, WithEngine(e))
+	}
+	mach := testMachine()
+	if np > 8 {
+		t.Fatalf("testMachine has 8 cores, np=%d", np)
+	}
+	w, err := NewWorld(mach, np, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAllreduceRingMatchesAllreduce(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		for _, np := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+			w := newEngineWorld(t, np, eng)
+			run(t, w, func(c *Comm) error {
+				vals := make([]float64, 5) // 5 elements over up to 8 ranks: some empty blocks
+				for i := range vals {
+					vals[i] = float64((c.Rank() + 1) * (i + 1))
+				}
+				send := EncodeFloat64s(vals)
+				r1 := make([]byte, len(send))
+				r2 := make([]byte, len(send))
+				if err := c.Allreduce(send, r1, Float64, OpSum); err != nil {
+					return err
+				}
+				if err := c.AllreduceRing(send, r2, Float64, OpSum); err != nil {
+					return err
+				}
+				if !bytes.Equal(r1, r2) {
+					return fmt.Errorf("%s np=%d rank=%d: ring %v vs default %v",
+						name, np, c.Rank(), DecodeFloat64s(r2), DecodeFloat64s(r1))
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAllreduceRabMatchesAllreduce(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		for _, np := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+			w := newEngineWorld(t, np, eng)
+			run(t, w, func(c *Comm) error {
+				vals := []int{c.Rank() + 1, -c.Rank(), 7 * c.Rank(), 3, c.Rank() * c.Rank(), 11, -5}
+				send := EncodeInts(vals)
+				r1 := make([]byte, len(send))
+				r2 := make([]byte, len(send))
+				if err := c.Allreduce(send, r1, Int64, OpSum); err != nil {
+					return err
+				}
+				if err := c.AllreduceRab(send, r2, Int64, OpSum); err != nil {
+					return err
+				}
+				if !bytes.Equal(r1, r2) {
+					return fmt.Errorf("%s np=%d rank=%d: rab %v vs default %v",
+						name, np, c.Rank(), DecodeInts(r2), DecodeInts(r1))
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAllreduceRabMax(t *testing.T) {
+	for _, np := range []int{3, 6} { // non-power-of-two exercises the fold
+		w := newTestWorld(t, np)
+		run(t, w, func(c *Comm) error {
+			send := EncodeInts([]int{c.Rank() * 7, -c.Rank()})
+			recv := make([]byte, len(send))
+			if err := c.AllreduceRab(send, recv, Int64, OpMax); err != nil {
+				return err
+			}
+			got := DecodeInts(recv)
+			if got[0] != (np-1)*7 || got[1] != 0 {
+				return fmt.Errorf("np=%d rank %d: max = %v", np, c.Rank(), got)
+			}
+			return nil
+		})
+	}
+}
+
+// ragged per-pair counts for the alltoallv tests: rank i sends (i+j)%3
+// elements to rank j (some blocks empty).
+func raggedCounts(me, np int) (send []byte, scounts, sdispls []int, rcounts, rdispls []int, total int) {
+	scounts = make([]int, np)
+	sdispls = make([]int, np)
+	rcounts = make([]int, np)
+	rdispls = make([]int, np)
+	off := 0
+	for j := 0; j < np; j++ {
+		scounts[j] = (me + j) % 3
+		sdispls[j] = off
+		off += scounts[j]
+	}
+	send = make([]byte, off)
+	for j := 0; j < np; j++ {
+		for k := 0; k < scounts[j]; k++ {
+			send[sdispls[j]+k] = byte(100 + me*10 + j)
+		}
+	}
+	off = 0
+	for j := 0; j < np; j++ {
+		rcounts[j] = (j + me) % 3
+		rdispls[j] = off
+		off += rcounts[j]
+	}
+	return send, scounts, sdispls, rcounts, rdispls, off
+}
+
+func TestAlltoallvBruckMatchesPairwise(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		for _, np := range []int{1, 2, 3, 4, 5, 7, 8} {
+			w := newEngineWorld(t, np, eng)
+			run(t, w, func(c *Comm) error {
+				send, sc, sd, rc, rd, rtot := raggedCounts(c.Rank(), np)
+				r1 := make([]byte, rtot)
+				r2 := make([]byte, rtot)
+				if err := c.Alltoallv(send, sc, sd, r1, rc, rd); err != nil {
+					return err
+				}
+				if err := c.AlltoallvBruck(send, sc, sd, r2, rc, rd); err != nil {
+					return err
+				}
+				if !bytes.Equal(r1, r2) {
+					return fmt.Errorf("%s np=%d rank=%d: bruck %v vs pairwise %v", name, np, c.Rank(), r2, r1)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAlltoallvBruckLargeUnevenBlocks(t *testing.T) {
+	const np = 6
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		scounts := make([]int, np)
+		sdispls := make([]int, np)
+		off := 0
+		for j := 0; j < np; j++ {
+			scounts[j] = 512*j + c.Rank() // 0-byte block to rank 0 from rank 0
+			sdispls[j] = off
+			off += scounts[j]
+		}
+		send := make([]byte, off)
+		for j := 0; j < np; j++ {
+			for k := 0; k < scounts[j]; k++ {
+				send[sdispls[j]+k] = byte(c.Rank() ^ j ^ k)
+			}
+		}
+		rcounts := make([]int, np)
+		rdispls := make([]int, np)
+		off = 0
+		for j := 0; j < np; j++ {
+			rcounts[j] = 512*c.Rank() + j
+			rdispls[j] = off
+			off += rcounts[j]
+		}
+		recv := make([]byte, off)
+		if err := c.AlltoallvBruck(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		for j := 0; j < np; j++ {
+			for k := 0; k < rcounts[j]; k++ {
+				if got, want := recv[rdispls[j]+k], byte(j^c.Rank()^k); got != want {
+					return fmt.Errorf("rank %d block from %d byte %d = %d, want %d", c.Rank(), j, k, got, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// The edge-case matrix of the satellite: aliased send/recv, zero-length
+// buffers, and np=1, across the allreduce variants, Scan/Exscan, and the
+// alltoallv algorithms, on both engines.
+
+func TestCollectiveAliasedBuffers(t *testing.T) {
+	type alg struct {
+		name string
+		call func(c *Comm, buf []byte) error
+	}
+	algs := []alg{
+		{"allreduce", func(c *Comm, b []byte) error { return c.Allreduce(b, b, Int64, OpSum) }},
+		{"allreduce.rd", func(c *Comm, b []byte) error { return c.AllreduceRD(b, b, Int64, OpSum) }},
+		{"allreduce.ring", func(c *Comm, b []byte) error { return c.AllreduceRing(b, b, Int64, OpSum) }},
+		{"allreduce.rab", func(c *Comm, b []byte) error { return c.AllreduceRab(b, b, Int64, OpSum) }},
+		{"scan", func(c *Comm, b []byte) error { return c.Scan(b, b, Int64, OpSum) }},
+	}
+	for name, eng := range testEngines(t) {
+		for _, np := range []int{1, 3, 4, 5} {
+			for _, a := range algs {
+				w := newEngineWorld(t, np, eng)
+				var want []int
+				run(t, w, func(c *Comm) error {
+					// Reference result with distinct buffers.
+					send := EncodeInts([]int{c.Rank() + 1, 2 * c.Rank()})
+					ref := make([]byte, len(send))
+					var err error
+					switch a.name {
+					case "scan":
+						err = c.Scan(send, ref, Int64, OpSum)
+					default:
+						err = c.Allreduce(send, ref, Int64, OpSum)
+					}
+					if err != nil {
+						return err
+					}
+					// Same operation in place.
+					buf := EncodeInts([]int{c.Rank() + 1, 2 * c.Rank()})
+					if err := a.call(c, buf); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, ref) {
+						return fmt.Errorf("%s %s np=%d rank=%d aliased: %v want %v",
+							name, a.name, np, c.Rank(), DecodeInts(buf), DecodeInts(ref))
+					}
+					_ = want
+					return nil
+				})
+			}
+		}
+	}
+}
+
+func TestExscanAliasedBuffer(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		const np = 5
+		w := newEngineWorld(t, np, eng)
+		run(t, w, func(c *Comm) error {
+			buf := EncodeInts([]int{c.Rank() + 1})
+			if err := c.Exscan(buf, buf, Int64, OpSum); err != nil {
+				return err
+			}
+			got := DecodeInts(buf)[0]
+			if c.Rank() == 0 {
+				if got != 1 { // untouched, as in MPI
+					return fmt.Errorf("%s: rank 0 exscan touched aliased buffer: %d", name, got)
+				}
+				return nil
+			}
+			want := c.Rank() * (c.Rank() + 1) / 2
+			if got != want {
+				return fmt.Errorf("%s: rank %d aliased exscan = %d, want %d", name, c.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestCollectiveZeroLengthBuffers(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		for _, np := range []int{1, 4, 5} {
+			w := newEngineWorld(t, np, eng)
+			run(t, w, func(c *Comm) error {
+				var e []byte
+				zc := make([]int, np)
+				zd := make([]int, np)
+				steps := []struct {
+					what string
+					err  error
+				}{
+					{"allreduce", c.Allreduce(e, e, Int64, OpSum)},
+					{"allreduce.rd", c.AllreduceRD(e, e, Int64, OpSum)},
+					{"allreduce.ring", c.AllreduceRing(e, e, Int64, OpSum)},
+					{"allreduce.rab", c.AllreduceRab(e, e, Int64, OpSum)},
+					{"scan", c.Scan(e, e, Int64, OpSum)},
+					{"exscan", c.Exscan(e, e, Int64, OpSum)},
+					{"alltoallv", c.Alltoallv(e, zc, zd, e, zc, zd)},
+					{"alltoallv.bruck", c.AlltoallvBruck(e, zc, zd, e, zc, zd)},
+				}
+				for _, s := range steps {
+					if s.err != nil {
+						return fmt.Errorf("%s np=%d rank=%d %s with zero-length buffers: %v", name, np, c.Rank(), s.what, s.err)
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestCollectiveSingleRank(t *testing.T) {
+	for name, eng := range testEngines(t) {
+		w := newEngineWorld(t, 1, eng)
+		run(t, w, func(c *Comm) error {
+			send := EncodeInts([]int{42})
+			for _, v := range []struct {
+				what string
+				call func(recv []byte) error
+			}{
+				{"allreduce", func(r []byte) error { return c.Allreduce(send, r, Int64, OpSum) }},
+				{"allreduce.rd", func(r []byte) error { return c.AllreduceRD(send, r, Int64, OpSum) }},
+				{"allreduce.ring", func(r []byte) error { return c.AllreduceRing(send, r, Int64, OpSum) }},
+				{"allreduce.rab", func(r []byte) error { return c.AllreduceRab(send, r, Int64, OpSum) }},
+				{"scan", func(r []byte) error { return c.Scan(send, r, Int64, OpSum) }},
+			} {
+				recv := make([]byte, len(send))
+				if err := v.call(recv); err != nil {
+					return fmt.Errorf("%s np=1 %s: %v", name, v.what, err)
+				}
+				if got := DecodeInts(recv)[0]; got != 42 {
+					return fmt.Errorf("%s np=1 %s = %d, want 42", name, v.what, got)
+				}
+			}
+			// Exscan at np=1 leaves recv untouched; alltoallv round-trips
+			// the single local block.
+			recv := EncodeInts([]int{-1})
+			if err := c.Exscan(send, recv, Int64, OpSum); err != nil {
+				return err
+			}
+			if got := DecodeInts(recv)[0]; got != -1 {
+				return fmt.Errorf("%s np=1 exscan touched recv: %d", name, got)
+			}
+			one := []byte{9}
+			out := make([]byte, 1)
+			if err := c.AlltoallvBruck(one, []int{1}, []int{0}, out, []int{1}, []int{0}); err != nil {
+				return err
+			}
+			if out[0] != 9 {
+				return fmt.Errorf("%s np=1 bruck alltoallv = %v", name, out)
+			}
+			return nil
+		})
+	}
+}
+
+// The new algorithms must be monitored as Coll traffic like every other
+// collective, and their virtual cost must be engine-independent (the
+// detailed cross-engine pin lives in internal/coll's pin test).
+func TestNewAlgorithmsMonitoredAsColl(t *testing.T) {
+	const np = 5
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := EncodeInts([]int{1, 2, 3})
+		recv := make([]byte, len(send))
+		if err := c.AllreduceRing(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		if err := c.AllreduceRab(send, recv, Int64, OpSum); err != nil {
+			return err
+		}
+		s, sc, sd, rc, rd, rtot := raggedCounts(c.Rank(), np)
+		r := make([]byte, rtot)
+		return c.AlltoallvBruck(s, sc, sd, r, rc, rd)
+	})
+	var p2p, coll uint64
+	for r := 0; r < np; r++ {
+		p2p += w.Proc(r).Monitor().TotalBytes(0)  // pml.P2P
+		coll += w.Proc(r).Monitor().TotalBytes(1) // pml.Coll
+	}
+	if p2p != 0 {
+		t.Fatalf("new algorithms leaked %d bytes into the P2P class", p2p)
+	}
+	if coll == 0 {
+		t.Fatal("new algorithms recorded nothing")
+	}
+	if w.MaxClock() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestBcastSAGNonPowerOfTwo(t *testing.T) {
+	for _, np := range []int{3, 5, 6, 7} {
+		for root := 0; root < np; root += 2 {
+			w := newTestWorld(t, np)
+			run(t, w, func(c *Comm) error {
+				buf := make([]byte, np*4)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(i ^ (root + 1))
+					}
+				}
+				if err := c.BcastSAG(buf, root); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != byte(i^(root+1)) {
+						return fmt.Errorf("np=%d root=%d rank=%d byte %d = %d", np, root, c.Rank(), i, buf[i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+// AllgatherRD's non-power-of-two fallback must still account the call as
+// its own span and MPI time (the satellite audit's divergence).
+func TestAllgatherRDFallbackAccountsMPITime(t *testing.T) {
+	const np = 5
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		send := []byte{byte(c.Rank())}
+		recv := make([]byte, np)
+		if err := c.AllgatherRD(send, recv); err != nil {
+			return err
+		}
+		if c.Proc().MPITime() <= 0 {
+			return fmt.Errorf("rank %d: fallback allgather.rd not accounted as MPI time", c.Rank())
+		}
+		return nil
+	})
+}
+
+// A long virtual run must still finish quickly in wall time (sanity bound
+// on algorithmic blowup in the new code paths).
+func TestNewAlgorithmsTerminate(t *testing.T) {
+	w := newTestWorld(t, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(func(c *Comm) error {
+			send := make([]byte, 1<<16)
+			recv := make([]byte, 1<<16)
+			if err := c.AllreduceRing(send, recv, Byte, OpSum); err != nil {
+				return err
+			}
+			return c.AllreduceRab(send, recv, Byte, OpSum)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("new algorithms did not terminate")
+	}
+}

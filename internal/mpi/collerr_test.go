@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpimon/internal/faults"
+)
+
+// The Scan/Exscan bugfix: every error path must route through the
+// per-comm error handler and keep typed *MPIError classification.
+
+func TestScanDeathSurfacesProcFailed(t *testing.T) {
+	// Rank 0 on node 1 dies mid-run; rank 1's Scan blocks receiving the
+	// prefix from rank 0 and must surface ErrProcFailed through the
+	// handler rather than hang or return a raw error.
+	plan := &faults.Plan{Deaths: []faults.NodeDeath{{Node: 1, At: time.Millisecond}}}
+	w := newTestWorld(t, 2, WithPlacement([]int{4, 0}), WithFaultPlan(plan))
+	run(t, w, func(c *Comm) error {
+		buf := EncodeInts([]int{c.Rank() + 1})
+		out := make([]byte, len(buf))
+		if c.Rank() == 0 {
+			// Advance past the death, then let Scan materialize it.
+			c.Proc().Compute(2 * time.Millisecond)
+			err := c.Scan(buf, out, Int64, OpSum)
+			if !errors.Is(err, ErrProcFailed) {
+				t.Errorf("dead rank's scan: %v, want ErrProcFailed", err)
+			}
+			return err // a dead rank's ErrProcFailed exit must not fail the run
+		}
+		handled := 0
+		c.SetErrHandler(func(_ *Comm, err error) error {
+			handled++
+			return err
+		})
+		err := c.Scan(buf, out, Int64, OpSum)
+		if !errors.Is(err, ErrProcFailed) {
+			t.Errorf("scan with dead predecessor: %v, want ErrProcFailed", err)
+		}
+		var me *MPIError
+		if !errors.As(err, &me) {
+			t.Errorf("scan error is not an *MPIError: %v", err)
+		}
+		if handled == 0 {
+			t.Error("error handler not invoked for scan failure")
+		}
+		return nil
+	})
+	if !w.RankFailed(0) {
+		t.Fatal("rank 0 not recorded as failed")
+	}
+}
+
+func TestExscanDeathSurfacesProcFailed(t *testing.T) {
+	plan := &faults.Plan{Deaths: []faults.NodeDeath{{Node: 1, At: time.Millisecond}}}
+	w := newTestWorld(t, 2, WithPlacement([]int{4, 0}), WithFaultPlan(plan))
+	run(t, w, func(c *Comm) error {
+		buf := EncodeInts([]int{c.Rank() + 1})
+		out := make([]byte, len(buf))
+		if c.Rank() == 0 {
+			c.Proc().Compute(2 * time.Millisecond)
+			err := c.Exscan(buf, out, Int64, OpSum)
+			if !errors.Is(err, ErrProcFailed) {
+				t.Errorf("dead rank's exscan: %v, want ErrProcFailed", err)
+			}
+			return err
+		}
+		handled := 0
+		c.SetErrHandler(func(_ *Comm, err error) error {
+			handled++
+			return err
+		})
+		err := c.Exscan(buf, out, Int64, OpSum)
+		if !errors.Is(err, ErrProcFailed) {
+			t.Errorf("exscan with dead predecessor: %v, want ErrProcFailed", err)
+		}
+		if handled == 0 {
+			t.Error("error handler not invoked for exscan failure")
+		}
+		return nil
+	})
+}
+
+// Validation errors (bad buffer sizes, bad counts) must also reach the
+// handler on every variant — the original bug was exactly these paths
+// returning raw fmt.Errorf.
+func TestCollectiveValidationErrorsHitHandler(t *testing.T) {
+	const np = 4
+	w := newTestWorld(t, np)
+	run(t, w, func(c *Comm) error {
+		handled := 0
+		c.SetErrHandler(func(_ *Comm, err error) error {
+			handled++
+			return err
+		})
+		short := make([]byte, 8)
+		long := make([]byte, 16)
+		badCounts := make([]int, np-1) // wrong number of entries
+		ok := make([]int, np)
+		cases := []struct {
+			what string
+			call func() error
+		}{
+			{"scan", func() error { return c.Scan(long, short, Int64, OpSum) }},
+			{"exscan", func() error { return c.Exscan(long, short, Int64, OpSum) }},
+			{"allreduce.rd", func() error { return c.AllreduceRD(long, short, Int64, OpSum) }},
+			{"allreduce.ring", func() error { return c.AllreduceRing(long, short, Int64, OpSum) }},
+			{"allreduce.rab", func() error { return c.AllreduceRab(long, short, Int64, OpSum) }},
+			{"reduce_scatter_block", func() error { return c.ReduceScatterBlock(short, long, Int64, OpSum) }},
+			{"allgather.rd", func() error { return c.AllgatherRD(short, short) }},
+			// counts are root-only significant, so use a root every rank
+			// rejects before communicating.
+			{"gatherv", func() error { return c.Gatherv(short, nil, badCounts, nil, np) }},
+			{"scatterv", func() error { return c.Scatterv(nil, badCounts, nil, short, -1) }},
+			{"alltoallv", func() error { return c.Alltoallv(short, badCounts, ok, long, ok, ok) }},
+			{"alltoallv.bruck", func() error { return c.AlltoallvBruck(short, badCounts, ok, long, ok, ok) }},
+			{"allgatherv", func() error { return c.Allgatherv(short, long, badCounts, ok) }},
+		}
+		for i, tc := range cases {
+			if err := tc.call(); err == nil {
+				t.Errorf("%s accepted invalid arguments", tc.what)
+			}
+			if handled != i+1 {
+				t.Errorf("%s: handler invoked %d times after %d failing calls", tc.what, handled, i+1)
+			}
+		}
+		return nil
+	})
+}
+
+// BcastSAG's validation error (buffer not splittable) must hit the
+// handler too; it needs its own case because the root signature differs.
+func TestBcastSAGValidationHitsHandler(t *testing.T) {
+	w := newTestWorld(t, 4)
+	run(t, w, func(c *Comm) error {
+		handled := 0
+		c.SetErrHandler(func(_ *Comm, err error) error {
+			handled++
+			return err
+		})
+		if err := c.BcastSAG(make([]byte, 8), -1); err == nil {
+			t.Error("bcast.sag accepted an invalid root")
+		}
+		if handled != 1 {
+			t.Errorf("handler invoked %d times, want 1", handled)
+		}
+		return nil
+	})
+}

@@ -140,6 +140,36 @@ func IBPair() *Machine {
 }
 
 // Fault describes what a fault injector did to one transfer. The zero
+// FatNode builds a machine with a fat intra-node fabric: nodes of two
+// boards with four devices each, linked inside the node by an
+// NVLink/NVSwitch-class interconnect an order of magnitude faster than
+// the inter-node network — the shape of the GPU clusters that motivate
+// monitoring collective traffic *within* a node ("Monitoring Collective
+// Communication Among GPUs"). On this machine the algorithm choice flips
+// compared to PlaFRIM: staying on-node is nearly free, so ring-style
+// schedules that cross the node boundary once per block beat trees that
+// hammer the uplink.
+func FatNode(nodes int) *Machine {
+	topo, err := topology.NewWithNodeDepth(1, nodes, 2, 4)
+	if err != nil {
+		panic(err)
+	}
+	return &Machine{
+		Topo: topo,
+		Links: []LinkParams{
+			{Latency: 1500 * time.Nanosecond, Bandwidth: 25e9},  // inter-node, 200 Gb/s HDR
+			{Latency: 300 * time.Nanosecond, Bandwidth: 150e9},  // same node, cross board
+			{Latency: 200 * time.Nanosecond, Bandwidth: 250e9},  // same board
+			{Latency: 100 * time.Nanosecond, Bandwidth: 300e9},  // self
+		},
+		SendOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+		EagerLimit:     64 << 10,
+		Contention:     true,
+		FlopsPerSecond: 5e9,
+	}
+}
+
 // value means the transfer was untouched.
 type Fault struct {
 	// Drop discards the message: the sender is charged as usual (the
